@@ -1,0 +1,78 @@
+"""Ablation: checksum-computation choices of the online protector.
+
+Two design choices from Section 3.2 of the paper are quantified:
+
+* lazy (verify one checksum, compute the second only on detection,
+  the paper's recommendation) vs. eager (compute both every iteration);
+* float32 checksum accumulation (the paper's fused kernel) vs. the
+  float64 accumulation this library defaults to for false-positive
+  headroom.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineABFT
+from repro.experiments.common import make_hotspot_app
+
+TILE = (48, 48, 8)
+ITERATIONS = 8
+
+
+def _run(protector_kwargs):
+    app = make_hotspot_app(TILE)
+    grid = app.build_grid()
+    protector = OnlineABFT.for_grid(grid, epsilon=1e-5, **protector_kwargs)
+    protector.run(grid, 2)  # warm-up
+    return grid, protector
+
+
+@pytest.mark.parametrize(
+    "label, kwargs",
+    [
+        ("lazy-single-checksum", {"eager_row_checksum": False}),
+        ("eager-both-checksums", {"eager_row_checksum": True}),
+    ],
+)
+def test_ablation_checksum_count(benchmark, label, kwargs):
+    grid, protector = _run(kwargs)
+    benchmark.group = "ablation-checksum-count"
+    benchmark.name = label
+    benchmark(lambda: protector.step(grid))
+
+
+@pytest.mark.parametrize(
+    "label, kwargs",
+    [
+        ("float64-accumulation", {"checksum_dtype": np.float64}),
+        ("float32-accumulation", {"checksum_dtype": None}),
+    ],
+)
+def test_ablation_checksum_dtype_cost(benchmark, label, kwargs):
+    grid, protector = _run(kwargs)
+    benchmark.group = "ablation-checksum-dtype"
+    benchmark.name = label
+    benchmark(lambda: protector.step(grid))
+
+
+def test_ablation_checksum_dtype_margin(benchmark):
+    """float64 accumulation buys orders of magnitude of false-positive margin."""
+
+    def margins():
+        out = {}
+        for label, dtype in (("float32", None), ("float64", np.float64)):
+            app = make_hotspot_app(TILE)
+            grid = app.build_grid()
+            protector = OnlineABFT.for_grid(grid, epsilon=1e-5, checksum_dtype=dtype)
+            worst = 0.0
+            for _ in range(ITERATIONS):
+                report = protector.step(grid)
+                worst = max(worst, report.max_relative_error)
+            out[label] = worst
+        return out
+
+    result = benchmark.pedantic(margins, rounds=1, iterations=1)
+    print(f"\nworst clean-run relative discrepancy: {result}")
+    assert result["float64"] < result["float32"]
+    assert result["float64"] < 1e-7   # huge margin below the 1e-5 threshold
+    assert result["float32"] < 1e-5   # the paper's operating point still holds

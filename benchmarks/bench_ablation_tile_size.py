@@ -1,0 +1,67 @@
+"""Ablation: ABFT overhead and detection margin vs. tile size.
+
+Section 5.1 of the paper argues for applying the scheme per (small) tile
+because the floating-point discrepancy of the checksum comparison grows
+with the reduction length. This ablation measures, for a range of tile
+sizes, (a) the per-iteration cost of the protected sweep and (b) the
+worst clean-run relative discrepancy — i.e. how much margin remains
+below the detection threshold.
+"""
+
+import pytest
+
+from repro.core.online import OnlineABFT
+from repro.core.protector import NoProtection
+from repro.experiments.common import make_hotspot_app
+
+TILE_SIZES = [(16, 16, 8), (32, 32, 8), (64, 64, 8), (128, 128, 8)]
+
+
+def _stepper(tile, protected: bool):
+    app = make_hotspot_app(tile)
+    grid = app.build_grid()
+    protector = (
+        OnlineABFT.for_grid(grid, epsilon=1e-5) if protected else NoProtection()
+    )
+    protector.run(grid, 2)
+    return grid, protector
+
+
+@pytest.mark.parametrize("tile", TILE_SIZES, ids=lambda t: "x".join(map(str, t)))
+def test_protected_step_cost_vs_tile_size(benchmark, tile):
+    grid, protector = _stepper(tile, protected=True)
+    benchmark.group = "ablation-tile-size-protected"
+    benchmark(lambda: protector.step(grid))
+
+
+@pytest.mark.parametrize("tile", TILE_SIZES, ids=lambda t: "x".join(map(str, t)))
+def test_unprotected_step_cost_vs_tile_size(benchmark, tile):
+    grid, protector = _stepper(tile, protected=False)
+    benchmark.group = "ablation-tile-size-unprotected"
+    benchmark(lambda: protector.step(grid))
+
+
+def test_detection_margin_shrinks_with_tile_size(benchmark):
+    """The clean-run discrepancy grows with the reduction length, which is
+    why the paper recommends small tiles (or, here, float64 accumulation)."""
+
+    def margins():
+        out = {}
+        for tile in TILE_SIZES:
+            app = make_hotspot_app(tile)
+            grid = app.build_grid()
+            protector = OnlineABFT.for_grid(grid, epsilon=1e-5, checksum_dtype=None)
+            worst = 0.0
+            for _ in range(6):
+                report = protector.step(grid)
+                worst = max(worst, report.max_relative_error)
+            out[tile] = worst
+        return out
+
+    result = benchmark.pedantic(margins, rounds=1, iterations=1)
+    print("\nworst clean-run discrepancy per tile size (float32 checksums):")
+    for tile, value in result.items():
+        print(f"  {'x'.join(map(str, tile)):>12}: {value:.3e}")
+    assert result[TILE_SIZES[-1]] >= result[TILE_SIZES[0]]
+    # All configurations stay below the paper's threshold (no false positives).
+    assert all(v < 1e-5 for v in result.values())

@@ -1,0 +1,118 @@
+"""Component micro-benchmarks.
+
+Breaks the cost of one protected iteration into its parts — sweep,
+checksum computation, checksum interpolation, detection — on the larger
+benchmark tile. This is the measurement behind the complexity claims of
+Theorem 1 (checksum interpolation touches only boundary strips, so it is
+orders of magnitude cheaper than the sweep).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checksums import checksum
+from repro.core.detection import detect_errors
+from repro.core.interpolation import (
+    extract_delta_strips,
+    interpolate_checksum_padded,
+    interpolate_checksum_reduced,
+)
+from repro.experiments.common import make_hotspot_app
+from repro.stencil.shift import pad_array
+from repro.stencil.sweep import sweep_padded
+
+
+@pytest.fixture(scope="module")
+def state(request):
+    tile = (64, 64, 8)
+    app = make_hotspot_app(tile)
+    grid = app.build_grid()
+    grid.run(2)
+    padded = pad_array(grid.u, grid.radius, grid.boundary)
+    cs = checksum(grid.u, 0, dtype=np.float64)
+    return app, grid, padded, cs
+
+
+def test_component_sweep(benchmark, state):
+    app, grid, padded, cs = state
+    benchmark.group = "components"
+    benchmark(
+        lambda: sweep_padded(padded, grid.spec, grid.radius, grid.shape,
+                             constant=grid.constant)
+    )
+
+
+def test_component_padding(benchmark, state):
+    app, grid, padded, cs = state
+    benchmark.group = "components"
+    benchmark(lambda: pad_array(grid.u, grid.radius, grid.boundary))
+
+
+def test_component_checksum(benchmark, state):
+    app, grid, padded, cs = state
+    benchmark.group = "components"
+    benchmark(lambda: checksum(grid.u, 0, dtype=np.float64))
+
+
+def test_component_interpolation(benchmark, state):
+    app, grid, padded, cs = state
+    benchmark.group = "components"
+    benchmark(
+        lambda: interpolate_checksum_padded(
+            cs, padded, grid.spec, grid.radius, grid.shape, 0
+        )
+    )
+
+
+def test_component_strip_extraction(benchmark, state):
+    app, grid, padded, cs = state
+    benchmark.group = "components"
+    benchmark(
+        lambda: extract_delta_strips(padded, grid.spec, grid.radius, grid.shape, 0)
+    )
+
+
+def test_component_reduced_interpolation(benchmark, state):
+    app, grid, padded, cs = state
+    strips = extract_delta_strips(padded, grid.spec, grid.radius, grid.shape, 0)
+    benchmark.group = "components"
+    benchmark(
+        lambda: interpolate_checksum_reduced(
+            cs, grid.spec, grid.boundary, 0, grid.shape[0], deltas=strips
+        )
+    )
+
+
+def test_component_detection(benchmark, state):
+    app, grid, padded, cs = state
+    predicted = interpolate_checksum_padded(
+        cs, padded, grid.spec, grid.radius, grid.shape, 0
+    )
+    benchmark.group = "components"
+    benchmark(lambda: detect_errors(cs, predicted, 1e-5))
+
+
+def test_interpolation_is_much_cheaper_than_sweep(state):
+    """The Theorem-1 complexity claim, checked directly on wall-clock."""
+    import time
+
+    app, grid, padded, cs = state
+
+    def timeit(fn, repeats=20):
+        fn()
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return (time.perf_counter() - start) / repeats
+
+    sweep_time = timeit(
+        lambda: sweep_padded(padded, grid.spec, grid.radius, grid.shape,
+                             constant=grid.constant)
+    )
+    interp_time = timeit(
+        lambda: interpolate_checksum_padded(
+            cs, padded, grid.spec, grid.radius, grid.shape, 0
+        )
+    )
+    print(f"\nsweep {sweep_time * 1e3:.3f} ms vs interpolation {interp_time * 1e3:.3f} ms")
+    assert interp_time < 0.5 * sweep_time

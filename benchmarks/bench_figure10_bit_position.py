@@ -1,0 +1,42 @@
+"""Figure 10 — impact of the bit-flip position on the final error.
+
+Sweeps the injected bit position for the three methods and prints the
+per-bit error distribution, asserting the qualitative structure of the
+paper's three panels.
+"""
+
+from repro.experiments.figure10 import format_figure10, run_figure10
+from repro.faults.bitflip import bit_field
+
+
+def test_figure10_bit_position_sweep(benchmark, scale):
+    result = benchmark.pedantic(run_figure10, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_figure10(result))
+
+    exponent_bits = [b for b in scale.bit_positions if bit_field(b, "float32") == "exponent"]
+    low_fraction_bits = [b for b in scale.bit_positions if b <= 10]
+    high_exponent = [b for b in exponent_bits if b >= 26]
+
+    # Panel (a): unprotected exponent flips are catastrophic.
+    assert any(result.cell("no-abft", b).median_error > 1.0 for b in high_exponent)
+
+    # Panel (b): online ABFT detects every high-exponent flip and reduces
+    # the error by orders of magnitude relative to no protection.
+    for b in high_exponent:
+        online = result.cell("online-abft", b)
+        unprotected = result.cell("no-abft", b)
+        assert online.detection_rate == 1.0
+        assert online.median_error <= unprotected.median_error
+
+    # Panels (b)/(c): flips in the lowest fraction bits are below the
+    # detection threshold for both ABFT variants (and harmless).
+    for b in low_fraction_bits:
+        assert result.cell("online-abft", b).detection_rate == 0.0
+        assert result.cell("no-abft", b).median_error < 1e-2
+
+    # Panel (c): offline ABFT erases every detected error completely.
+    for b in high_exponent:
+        offline = result.cell("offline-abft", b)
+        assert offline.detection_rate == 1.0
+        assert offline.median_error < 1e-10

@@ -1,0 +1,91 @@
+"""Figure 8 — mean execution time of No-ABFT / Online / Offline.
+
+Two granularities are measured:
+
+* per-iteration micro-benchmarks (``test_step_*``): the steady-state cost
+  of one protected sweep for each method on the larger benchmark tile —
+  this is the number behind the paper's "<8% overhead" claim, measured
+  by pytest-benchmark with proper warm-up and repetition;
+* the full Figure 8 campaign (``test_figure8_campaign``): error-free and
+  single-bit-flip scenarios for every method and tile size, printed as
+  the same series the paper plots.
+"""
+
+import pytest
+
+from repro.core.offline import OfflineABFT
+from repro.core.online import OnlineABFT
+from repro.core.protector import NoProtection
+from repro.experiments.common import make_hotspot_app
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.metrics.timing import overhead_percent
+
+
+def _steady_state_stepper(method: str, tile):
+    """Build a (grid, protector) pair that has already taken a few steps."""
+    app = make_hotspot_app(tile)
+    grid = app.build_grid()
+    if method == "no-abft":
+        protector = NoProtection()
+    elif method == "online-abft":
+        protector = OnlineABFT.for_grid(grid, epsilon=1e-5)
+    else:
+        protector = OfflineABFT.for_grid(grid, epsilon=1e-5, period=16)
+    protector.run(grid, 3)  # warm-up: caches, lazy initial checksums
+    return grid, protector
+
+
+@pytest.mark.parametrize("method", ["no-abft", "online-abft", "offline-abft"])
+def test_step_cost_per_method(benchmark, bench_tile, method):
+    grid, protector = _steady_state_stepper(method, bench_tile)
+    benchmark.group = f"figure8-step-{'x'.join(str(v) for v in bench_tile)}"
+    benchmark.name = method
+    benchmark(lambda: protector.step(grid))
+
+
+def test_online_overhead_shrinks_with_tile_size(benchmark):
+    """The headline "<8% overhead" claim is a large-tile statement: the ABFT
+    work is O(boundary) per sweep while the sweep is O(volume), so the
+    relative overhead must shrink as tiles grow. In pure NumPy the small
+    tiles are dominated by Python dispatch, so we assert the trend (and a
+    loose absolute bound at the larger size) rather than the paper's
+    compiled-code 8%; the paper-scale 512x512x8 measurement is recorded in
+    EXPERIMENTS.md."""
+    import time
+
+    def measure(method, tile, iterations=8):
+        grid, protector = _steady_state_stepper(method, tile)
+        start = time.perf_counter()
+        protector.run(grid, iterations)
+        return time.perf_counter() - start
+
+    def overheads():
+        out = {}
+        for tile in [(32, 32, 8), (128, 128, 8)]:
+            baseline = min(measure("no-abft", tile) for _ in range(3))
+            online = min(measure("online-abft", tile) for _ in range(3))
+            out[tile] = overhead_percent(online, baseline)
+        return out
+
+    result = benchmark.pedantic(overheads, rounds=1, iterations=1)
+    print("\nOnline ABFT overhead vs No-ABFT:")
+    for tile, pct in result.items():
+        print(f"  {'x'.join(map(str, tile)):>10}: {pct:+.1f}%")
+    small, large = result[(32, 32, 8)], result[(128, 128, 8)]
+    assert large < small
+    assert large < 80.0
+
+
+def test_figure8_campaign(benchmark, scale):
+    result = benchmark.pedantic(run_figure8, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_figure8(result))
+    # Qualitative shape of Figure 8: with a bit-flip the offline method pays
+    # for rollback/recompute, the online method does not.
+    for tile in scale.tile_sizes:
+        online_ef = result.row(tile, "error-free", "online-abft").mean_time
+        online_bf = result.row(tile, "single-bit-flip", "online-abft").mean_time
+        offline_bf = result.row(tile, "single-bit-flip", "offline-abft").mean_time
+        offline_ef = result.row(tile, "error-free", "offline-abft").mean_time
+        assert online_bf < 1.5 * online_ef
+        assert offline_bf > 0.9 * offline_ef

@@ -1,0 +1,34 @@
+"""Figure 9 — mean/median/max arithmetic error of the three methods.
+
+Runs the error-free and single-bit-flip campaigns for every method and
+tile size of the active scale and prints the same error statistics the
+paper plots, asserting the qualitative ordering (unprotected >> online
+>= offline with faults; everything ~0 without faults).
+"""
+
+from repro.experiments.figure9 import format_figure9, run_figure9
+
+
+def test_figure9_campaign(benchmark, scale):
+    result = benchmark.pedantic(run_figure9, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_figure9(result))
+
+    for tile in scale.tile_sizes:
+        # Error-free: all three methods numerically match the reference.
+        for method in ("no-abft", "online-abft", "offline-abft"):
+            assert result.row(tile, "error-free", method).mean_error < 1e-3
+
+        # Single bit-flip: the unprotected worst case dwarfs the protected
+        # ones, and the offline method (rollback) is at least as accurate
+        # as the online method (on-the-fly correction residue).
+        unprotected = result.row(tile, "single-bit-flip", "no-abft")
+        online = result.row(tile, "single-bit-flip", "online-abft")
+        offline = result.row(tile, "single-bit-flip", "offline-abft")
+        assert online.max_error <= unprotected.max_error
+        assert offline.max_error <= unprotected.max_error
+        assert offline.median_error <= online.median_error + 1e-12
+
+        # No false positives in the error-free campaigns.
+        assert result.row(tile, "error-free", "online-abft").false_positive_rate == 0.0
+        assert result.row(tile, "error-free", "offline-abft").false_positive_rate == 0.0

@@ -1,0 +1,19 @@
+"""Table 1 — experimental parameters.
+
+Regenerates the parameter table for the active scale and for the paper
+scale, so the mapping between the scaled-down campaign and the published
+campaign is always visible in the benchmark output.
+"""
+
+from repro.experiments.common import EvaluationScale
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1_parameters(benchmark, scale):
+    result = benchmark.pedantic(run_table1, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table1(result))
+    print()
+    print(format_table1(run_table1(EvaluationScale.paper())))
+    assert len(result.rows) == len(scale.tile_sizes)
+    assert all(row.epsilon == scale.epsilon for row in result.rows)

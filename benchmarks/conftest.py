@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation of a design choice DESIGN.md calls out) at a scaled-down
+configuration, and prints the corresponding text table so the series
+the paper reports can be read straight from the benchmark output
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see them).
+
+Set ``REPRO_BENCH_SCALE=quick`` (default) or ``paper`` to choose the
+campaign scale; ``paper`` reproduces the published parameters and takes
+hours in pure NumPy.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.common import EvaluationScale  # noqa: E402
+
+
+def _select_scale() -> EvaluationScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name == "paper":
+        return EvaluationScale.paper()
+    if name == "smoke":
+        return EvaluationScale.smoke()
+    return EvaluationScale.quick()
+
+
+@pytest.fixture(scope="session")
+def scale() -> EvaluationScale:
+    """The campaign scale used by every figure benchmark."""
+    return _select_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_tile(scale):
+    """The single tile used by per-iteration micro-benchmarks."""
+    return scale.tile_sizes[-1]

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""HotSpot3D under the three protection schemes of the paper.
+
+Runs the HotSpot3D thermal simulation (the paper's evaluation
+application) with No-ABFT, Online ABFT and Offline ABFT, both error-free
+and with a single random bit-flip, and prints a miniature version of the
+paper's Figures 8 and 9 (execution time and arithmetic error).
+
+Run with::
+
+    python examples/hotspot3d_protected.py [--nx 64 --ny 64 --nz 8 --iterations 64]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import FaultInjector, NoProtection, OfflineABFT, OnlineABFT, l2_error
+from repro.apps.hotspot3d import HotSpot3D, HotSpot3DConfig
+from repro.faults.injector import random_fault_plan
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nx", type=int, default=64)
+    parser.add_argument("--ny", type=int, default=64)
+    parser.add_argument("--nz", type=int, default=8)
+    parser.add_argument("--iterations", type=int, default=64)
+    parser.add_argument("--period", type=int, default=16,
+                        help="offline detection/checkpoint period")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--bit", type=int, default=27,
+        help="bit position of the injected flip (use -1 for a uniformly random bit, "
+             "as in the paper's campaign; the default exponent bit makes the "
+             "corruption clearly visible)",
+    )
+    return parser.parse_args()
+
+
+def make_protector(name, grid, period):
+    if name == "No ABFT":
+        return NoProtection()
+    if name == "ABFT (Online)":
+        return OnlineABFT.for_grid(grid, epsilon=1e-5)
+    return OfflineABFT.for_grid(grid, epsilon=1e-5, period=period)
+
+
+def main() -> None:
+    args = parse_args()
+    app = HotSpot3D(HotSpot3DConfig(nx=args.nx, ny=args.ny, nz=args.nz))
+    reference = app.reference_solution(args.iterations)
+
+    methods = ["No ABFT", "ABFT (Online)", "ABFT (Offline)"]
+    scenarios = ["error-free", "single bit-flip"]
+
+    print(f"HotSpot3D tile {args.nx}x{args.ny}x{args.nz}, "
+          f"{args.iterations} iterations, offline period {args.period}")
+    print()
+    header = f"{'scenario':<16} {'method':<16} {'time (s)':>10} {'l2 error':>12} " \
+             f"{'detected':>9} {'corrected':>10} {'rollbacks':>10}"
+    print(header)
+    print("-" * len(header))
+
+    for scenario in scenarios:
+        for method in methods:
+            grid = app.build_grid()
+            protector = make_protector(method, grid, args.period)
+            injector = None
+            if scenario == "single bit-flip":
+                rng = np.random.default_rng(args.seed)
+                bit = None if args.bit < 0 else args.bit
+                plan = random_fault_plan(rng, grid.shape, args.iterations,
+                                         dtype=grid.dtype, bit=bit)
+                injector = FaultInjector([plan])
+            start = time.perf_counter()
+            report = protector.run(grid, args.iterations, inject=injector)
+            elapsed = time.perf_counter() - start
+            error = l2_error(reference, grid.u)
+            print(
+                f"{scenario:<16} {method:<16} {elapsed:>10.3f} {error:>12.3e} "
+                f"{report.total_detected:>9} {report.total_corrected:>10} "
+                f"{report.total_rollbacks:>10}"
+            )
+    print()
+    print("Expected shape (paper, Figs. 8-9): protected error-free runs cost a few")
+    print("percent extra; with a bit-flip the unprotected error explodes, the online")
+    print("protector leaves a tiny residual, and the offline protector erases it at")
+    print("the cost of recomputing one detection window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Stencil applications built on the library's public API.
+
+``hotspot3d``
+    NumPy port of the Rodinia HotSpot3D thermal simulation — the
+    application used in the paper's evaluation (Section 5).
+``jacobi``
+    2D Jacobi iteration for the Laplace/Poisson equation.
+``heat2d``
+    2D explicit heat diffusion with localized sources (a constant term).
+``advection``
+    2D upwind advection — an *asymmetric* stencil that exercises the
+    exact α/β boundary-correction terms of Theorem 1.
+"""
+
+from repro.apps.hotspot3d import HotSpot3DConfig, HotSpot3D, hotspot3d_stencil
+from repro.apps.jacobi import JacobiConfig, build_jacobi_grid
+from repro.apps.heat2d import Heat2DConfig, build_heat2d_grid
+from repro.apps.advection import AdvectionConfig, build_advection_grid
+
+__all__ = [
+    "HotSpot3DConfig",
+    "HotSpot3D",
+    "hotspot3d_stencil",
+    "JacobiConfig",
+    "build_jacobi_grid",
+    "Heat2DConfig",
+    "build_heat2d_grid",
+    "AdvectionConfig",
+    "build_advection_grid",
+]

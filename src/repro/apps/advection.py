@@ -1,0 +1,77 @@
+"""2D upwind advection — an asymmetric stencil workload.
+
+First-order upwind advection of a scalar field by a constant velocity.
+The stencil weights are *asymmetric* (only upwind neighbours appear), so
+with clamp boundaries the α/β boundary-correction terms of Theorem 1 do
+**not** cancel. This application exists precisely to exercise that code
+path: protecting it with the simplified interpolation (Eqs. 8-9) raises
+false positives, while the exact interpolation stays silent — the
+ablation benchmark ``bench_ablation_boundary_terms`` quantifies this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.grid import Grid2D
+from repro.stencil.kernels import asymmetric_advection_2d
+
+__all__ = ["AdvectionConfig", "build_advection_grid"]
+
+
+@dataclass(frozen=True)
+class AdvectionConfig:
+    """Configuration of the upwind-advection example."""
+
+    nx: int = 96
+    ny: int = 96
+    #: Courant numbers along x and y (cx + cy must stay below 1)
+    cx: float = 0.3
+    cy: float = 0.2
+    #: number of Gaussian blobs in the initial condition
+    blobs: int = 3
+    dtype: str = "float32"
+    seed: int = 99
+    #: boundary kind: "clamp", "periodic" or "zero"
+    boundary: str = "clamp"
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nx, self.ny)
+
+
+def build_advection_grid(config: AdvectionConfig | None = None) -> Grid2D:
+    """Fresh advection grid transporting a few Gaussian blobs."""
+    config = config if config is not None else AdvectionConfig()
+    if config.cx + config.cy >= 1.0:
+        raise ValueError("cx + cy must be < 1 for upwind stability")
+    rng = np.random.default_rng(config.seed)
+    dtype = np.dtype(config.dtype)
+
+    x = np.arange(config.nx)[:, None]
+    y = np.arange(config.ny)[None, :]
+    u0 = np.zeros(config.shape, dtype=np.float64)
+    for _ in range(config.blobs):
+        cx0 = rng.uniform(0.2, 0.8) * config.nx
+        cy0 = rng.uniform(0.2, 0.8) * config.ny
+        sigma = rng.uniform(0.03, 0.08) * min(config.nx, config.ny)
+        u0 += np.exp(-((x - cx0) ** 2 + (y - cy0) ** 2) / (2.0 * sigma**2))
+    u0 = (100.0 * u0).astype(dtype)
+
+    kinds = {
+        "clamp": BoundaryCondition.clamp(),
+        "periodic": BoundaryCondition.periodic(),
+        "zero": BoundaryCondition.zero(),
+    }
+    try:
+        bc = kinds[config.boundary]
+    except KeyError:
+        raise ValueError(
+            f"unknown boundary {config.boundary!r}; expected one of {sorted(kinds)}"
+        ) from None
+    boundary = BoundarySpec.uniform(bc, 2)
+    return Grid2D(u0, asymmetric_advection_2d(config.cx, config.cy), boundary)

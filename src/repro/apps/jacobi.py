@@ -1,0 +1,58 @@
+"""2D Jacobi iteration for the Laplace equation.
+
+The Jacobi kernel ("update each point with the average of its four
+neighbours") is the introductory example the paper uses to define a
+stencil (Section 3.1). The application solves the steady-state Laplace
+equation on a rectangle with fixed (constant) boundary temperatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.grid import Grid2D
+from repro.stencil.kernels import jacobi4
+
+__all__ = ["JacobiConfig", "build_jacobi_grid"]
+
+
+@dataclass(frozen=True)
+class JacobiConfig:
+    """Configuration of the Jacobi/Laplace example."""
+
+    nx: int = 128
+    ny: int = 128
+    #: temperature imposed outside the domain (constant boundary)
+    boundary_value: float = 100.0
+    #: initial interior temperature
+    initial_value: float = 0.0
+    #: amplitude of the random perturbation added to the initial state
+    noise: float = 1.0
+    dtype: str = "float32"
+    seed: int = 2024
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nx, self.ny)
+
+
+def build_jacobi_grid(config: JacobiConfig | None = None) -> Grid2D:
+    """Fresh Jacobi grid for the given configuration.
+
+    The same config (and seed) always produces the same initial state so
+    that fault-injection repetitions are comparable.
+    """
+    config = config if config is not None else JacobiConfig()
+    rng = np.random.default_rng(config.seed)
+    dtype = np.dtype(config.dtype)
+    u0 = np.full(config.shape, config.initial_value, dtype=dtype)
+    if config.noise > 0.0:
+        u0 += (config.noise * rng.random(config.shape)).astype(dtype)
+    boundary = BoundarySpec.uniform(
+        BoundaryCondition.constant(config.boundary_value), 2
+    )
+    return Grid2D(u0, jacobi4(), boundary)

@@ -1,0 +1,23 @@
+"""Comparison baselines.
+
+``no_abft``
+    The unprotected run (re-exported :class:`NoProtection`).
+``tmr``
+    Triple modular redundancy — the general-purpose detector/corrector
+    the paper's related work positions ABFT against: every sweep is
+    executed three times and the results are majority-voted. Accurate,
+    but roughly 3x the compute.
+``spatial_detector``
+    A data-analytics detector in the spirit of Bautista-Gomez & Cappello
+    (CLUSTER 2015): each point is predicted from its spatial
+    neighbourhood and outliers are flagged/repaired. Cheap but inexact —
+    it only catches large deviations and can raise false positives on
+    sharp features, which is exactly the comparison drawn in the paper's
+    Section 2.
+"""
+
+from repro.core.protector import NoProtection
+from repro.baselines.tmr import TMRProtector
+from repro.baselines.spatial_detector import SpatialInterpolationDetector
+
+__all__ = ["NoProtection", "TMRProtector", "SpatialInterpolationDetector"]

@@ -1,0 +1,91 @@
+"""In-memory checkpoint storage.
+
+A checkpoint captures everything needed to restart the stencil
+computation from a verified point: the domain snapshot, the iteration
+number and the checksum vector(s) that were verified when the checkpoint
+was taken. Checkpoints live in memory (the paper performs "a lightweight
+memory copy of the current state of the grid and of the checksums every
+Δ iterations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.stencil.grid import GridSnapshot
+
+__all__ = ["Checkpoint", "InMemoryCheckpointStore"]
+
+
+@dataclass
+class Checkpoint:
+    """A verified restart point."""
+
+    iteration: int
+    snapshot: GridSnapshot
+    checksums: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes."""
+        total = self.snapshot.nbytes()
+        for cs in self.checksums.values():
+            total += int(cs.nbytes)
+        return total
+
+
+class InMemoryCheckpointStore:
+    """Bounded LIFO store of in-memory checkpoints.
+
+    Parameters
+    ----------
+    max_checkpoints:
+        Maximum number of checkpoints kept alive; older ones are dropped.
+        The offline protector only ever needs the most recent verified
+        checkpoint, so the default of 1 reproduces the paper's behaviour
+        while larger values support multi-level rollback experiments.
+    """
+
+    def __init__(self, max_checkpoints: int = 1) -> None:
+        if max_checkpoints < 1:
+            raise ValueError("max_checkpoints must be >= 1")
+        self.max_checkpoints = int(max_checkpoints)
+        self._checkpoints: List[Checkpoint] = []
+        self.saves = 0
+        self.restores = 0
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        """Store a checkpoint, evicting the oldest if over capacity."""
+        self._checkpoints.append(checkpoint)
+        self.saves += 1
+        while len(self._checkpoints) > self.max_checkpoints:
+            self._checkpoints.pop(0)
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The most recent checkpoint, or ``None`` if empty."""
+        if not self._checkpoints:
+            return None
+        return self._checkpoints[-1]
+
+    def at_or_before(self, iteration: int) -> Optional[Checkpoint]:
+        """The most recent checkpoint taken at or before ``iteration``."""
+        best = None
+        for ckpt in self._checkpoints:
+            if ckpt.iteration <= iteration:
+                best = ckpt
+        return best
+
+    def mark_restore(self) -> None:
+        self.restores += 1
+
+    def clear(self) -> None:
+        self._checkpoints.clear()
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def nbytes(self) -> int:
+        """Total memory footprint of all stored checkpoints."""
+        return sum(c.nbytes() for c in self._checkpoints)

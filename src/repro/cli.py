@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro`` / ``repro-abft``.
+
+Regenerates the paper's tables and figures from the command line::
+
+    python -m repro table1
+    python -m repro figure8 --scale quick
+    python -m repro figure9
+    python -m repro figure10
+    python -m repro figure11
+    python -m repro sensitivity
+    python -m repro all --scale quick
+
+``--scale paper`` switches to the published campaign parameters
+(hours of compute in pure NumPy); ``--scale smoke`` is the tiny
+configuration used by the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import (
+    EvaluationScale,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_figure11,
+    format_sensitivity,
+    format_table1,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_sensitivity,
+    run_table1,
+)
+from repro.version import __version__
+
+__all__ = ["main", "build_parser"]
+
+_SCALES: Dict[str, Callable[[], EvaluationScale]] = {
+    "smoke": EvaluationScale.smoke,
+    "quick": EvaluationScale.quick,
+    "paper": EvaluationScale.paper,
+}
+
+_EXPERIMENTS = {
+    "table1": (run_table1, format_table1),
+    "figure8": (run_figure8, format_figure8),
+    "figure9": (run_figure9, format_figure9),
+    "figure10": (run_figure10, format_figure10),
+    "figure11": (run_figure11, format_figure11),
+    "sensitivity": (run_sensitivity, format_sensitivity),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-abft",
+        description=(
+            "Reproduce the evaluation of 'Algorithm-Based Fault Tolerance for "
+            "Parallel Stencil Computations' (CLUSTER 2019)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in list(_EXPERIMENTS) + ["all"]:
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub.add_argument(
+            "--scale",
+            choices=sorted(_SCALES),
+            default="quick",
+            help="campaign scale (default: quick)",
+        )
+        sub.add_argument(
+            "--output",
+            default=None,
+            help="optional file to write the rendered table to",
+        )
+    return parser
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    print(text)
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    scale = _SCALES[args.scale]()
+
+    if args.command == "all":
+        chunks = []
+        for name, (run, fmt) in _EXPERIMENTS.items():
+            chunks.append(fmt(run(scale)))
+        _emit("\n\n".join(chunks), args.output)
+        return 0
+
+    run, fmt = _EXPERIMENTS[args.command]
+    _emit(fmt(run(scale)), args.output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

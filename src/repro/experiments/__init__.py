@@ -1,0 +1,47 @@
+"""Experiment harnesses reproducing the paper's tables and figures.
+
+Each module regenerates one published artefact:
+
+=================  =========================================================
+Module             Paper artefact
+=================  =========================================================
+``table1``         Table 1 — experimental parameters
+``figure8``        Figure 8 — mean execution time, error-free vs. bit-flip
+``figure9``        Figure 9 — mean/median/max arithmetic error
+``figure10``       Figure 10 — arithmetic error vs. bit-flip position
+``figure11``       Figure 11 — execution time vs. detection period Δ
+``sensitivity``    Section 2/3.4 claim — detectable error magnitude and
+                   false positives, ABFT vs. spatial-interpolation detector
+=================  =========================================================
+
+Every experiment accepts an :class:`~repro.experiments.common.EvaluationScale`
+so that the same code runs both a minutes-long scaled-down campaign (the
+default, used by the benchmark suite) and the paper's full parameters
+(``EvaluationScale.paper()``).
+"""
+
+from repro.experiments.common import EvaluationScale, METHODS, make_protector_factory
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.figure8 import run_figure8, format_figure8
+from repro.experiments.figure9 import run_figure9, format_figure9
+from repro.experiments.figure10 import run_figure10, format_figure10
+from repro.experiments.figure11 import run_figure11, format_figure11
+from repro.experiments.sensitivity import run_sensitivity, format_sensitivity
+
+__all__ = [
+    "EvaluationScale",
+    "METHODS",
+    "make_protector_factory",
+    "run_table1",
+    "format_table1",
+    "run_figure8",
+    "format_figure8",
+    "run_figure9",
+    "format_figure9",
+    "run_figure10",
+    "format_figure10",
+    "run_figure11",
+    "format_figure11",
+    "run_sensitivity",
+    "format_sensitivity",
+]

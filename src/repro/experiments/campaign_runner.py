@@ -1,0 +1,83 @@
+"""Campaign execution shared by the Figure 8 and Figure 9 experiments.
+
+Both figures are produced from the same set of campaigns: for every tile
+size, every method (No-ABFT / Online / Offline) is run once in an
+error-free scenario and once with a single random bit-flip per run.
+Figure 8 reads the execution-time statistics of those campaigns and
+Figure 9 reads the arithmetic-error statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.common import (
+    METHODS,
+    EvaluationScale,
+    make_hotspot_app,
+    make_protector_factory,
+)
+from repro.faults.campaign import CampaignConfig, CampaignResult, run_campaign
+
+__all__ = ["SCENARIOS", "TileCampaigns", "run_tile_campaigns"]
+
+#: The two execution scenarios of Figures 8 and 9.
+SCENARIOS: Tuple[str, ...] = ("error-free", "single-bit-flip")
+
+
+@dataclass
+class TileCampaigns:
+    """All (method, scenario) campaigns for one tile size."""
+
+    tile_size: Tuple[int, int, int]
+    iterations: int
+    repetitions: int
+    campaigns: Dict[Tuple[str, str], CampaignResult] = field(default_factory=dict)
+
+    def get(self, method: str, scenario: str) -> CampaignResult:
+        return self.campaigns[(method, scenario)]
+
+
+def run_tile_campaigns(
+    scale: EvaluationScale,
+    tile: Tuple[int, int, int],
+    methods: Tuple[str, ...] = METHODS,
+    seed: int = 0,
+    offline_kwargs: Optional[dict] = None,
+) -> TileCampaigns:
+    """Run the error-free and bit-flip campaigns of every method on a tile.
+
+    The error-free reference solution is computed once and reused across
+    all campaigns of the tile so that arithmetic errors are comparable.
+    """
+    iterations = scale.iterations[tile]
+    repetitions = scale.repetitions[tile]
+    app = make_hotspot_app(tile)
+    reference = app.reference_solution(iterations)
+    result = TileCampaigns(
+        tile_size=tile, iterations=iterations, repetitions=repetitions
+    )
+    offline_kwargs = offline_kwargs or {}
+
+    for method in methods:
+        if method == "offline-abft":
+            factory = make_protector_factory(
+                method, epsilon=scale.epsilon, period=scale.period, **offline_kwargs
+            )
+        else:
+            factory = make_protector_factory(method, epsilon=scale.epsilon)
+        for scenario in SCENARIOS:
+            config = CampaignConfig(
+                iterations=iterations,
+                repetitions=repetitions,
+                inject=(scenario == "single-bit-flip"),
+                seed=seed,
+            )
+            campaign = run_campaign(
+                app.build_grid, factory, config, reference=reference
+            )
+            result.campaigns[(method, scenario)] = campaign
+    return result

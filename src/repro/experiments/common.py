@@ -1,0 +1,171 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+The paper's campaigns (Table 1) run 1,000 repetitions of 128 iterations
+on 64x64x8 tiles and 100 repetitions of 256 iterations on 512x512x8
+tiles on a Xeon node. A pure-NumPy reproduction cannot afford that on a
+laptop, so every experiment is parameterised by an
+:class:`EvaluationScale`:
+
+* ``EvaluationScale.quick()`` — minutes on one core; preserves the
+  qualitative shape of every figure (who wins, by what rough factor,
+  where the crossovers are) and is what the benchmark suite runs.
+* ``EvaluationScale.paper()`` — the published parameters, for users with
+  the patience (or a compiled BLAS-class machine) to run them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.hotspot3d import HotSpot3D, HotSpot3DConfig
+from repro.core.offline import OfflineABFT
+from repro.core.online import OnlineABFT
+from repro.core.protector import NoProtection, Protector
+from repro.core.thresholds import PAPER_EPSILON
+from repro.stencil.grid import GridBase
+
+__all__ = [
+    "METHODS",
+    "EvaluationScale",
+    "make_hotspot_app",
+    "make_protector_factory",
+    "method_label",
+]
+
+#: The three methods compared throughout the paper's evaluation.
+METHODS: Tuple[str, ...] = ("no-abft", "online-abft", "offline-abft")
+
+_METHOD_LABELS = {
+    "no-abft": "No ABFT",
+    "online-abft": "ABFT (Online)",
+    "offline-abft": "ABFT (Offline)",
+}
+
+
+def method_label(method: str) -> str:
+    """Figure-legend label of a method key."""
+    return _METHOD_LABELS.get(method, method)
+
+
+@dataclass(frozen=True)
+class EvaluationScale:
+    """Domain sizes, iteration counts and repetition counts of a campaign.
+
+    Attributes
+    ----------
+    tile_sizes:
+        The 3D tile sizes evaluated (paper: 64x64x8 and 512x512x8).
+    iterations:
+        Stencil iterations per run, keyed by tile size.
+    repetitions:
+        Campaign repetitions per configuration, keyed by tile size.
+    epsilon:
+        Detection threshold ε (paper: 1e-5).
+    period:
+        Offline detection/checkpoint period Δ (paper: 16).
+    detection_periods:
+        The Δ sweep of Figure 11.
+    bit_positions:
+        The bit positions swept by Figure 10.
+    bit_repetitions:
+        Repetitions per bit position in Figure 10.
+    """
+
+    tile_sizes: Tuple[Tuple[int, int, int], ...]
+    iterations: Dict[Tuple[int, int, int], int]
+    repetitions: Dict[Tuple[int, int, int], int]
+    epsilon: float = PAPER_EPSILON
+    period: int = 16
+    detection_periods: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+    bit_positions: Tuple[int, ...] = tuple(range(32))
+    bit_repetitions: int = 20
+    name: str = "quick"
+
+    @classmethod
+    def quick(cls) -> "EvaluationScale":
+        """Scaled-down campaign that finishes in minutes on one core."""
+        small, large = (24, 24, 4), (48, 48, 8)
+        return cls(
+            tile_sizes=(small, large),
+            iterations={small: 32, large: 48},
+            repetitions={small: 6, large: 4},
+            detection_periods=(1, 2, 4, 8, 16, 32),
+            bit_positions=tuple(range(0, 32, 2)),
+            bit_repetitions=6,
+            name="quick",
+        )
+
+    @classmethod
+    def smoke(cls) -> "EvaluationScale":
+        """Tiny configuration used by the unit/integration tests."""
+        small, large = (12, 12, 2), (16, 16, 4)
+        return cls(
+            tile_sizes=(small, large),
+            iterations={small: 10, large: 12},
+            repetitions={small: 2, large: 2},
+            detection_periods=(1, 4, 8),
+            bit_positions=(1, 12, 22, 27, 31),
+            bit_repetitions=2,
+            name="smoke",
+        )
+
+    @classmethod
+    def paper(cls) -> "EvaluationScale":
+        """The published campaign parameters (Table 1 of the paper)."""
+        small, large = (64, 64, 8), (512, 512, 8)
+        return cls(
+            tile_sizes=(small, large),
+            iterations={small: 128, large: 256},
+            repetitions={small: 1000, large: 100},
+            detection_periods=(1, 2, 4, 8, 16, 32, 64, 128),
+            bit_positions=tuple(range(32)),
+            bit_repetitions=1000,
+            name="paper",
+        )
+
+    def primary_tile(self) -> Tuple[int, int, int]:
+        """The tile used by single-tile experiments (the smaller one)."""
+        return self.tile_sizes[0]
+
+
+def make_hotspot_app(tile: Sequence[int], seed: int = 12345) -> HotSpot3D:
+    """The HotSpot3D instance used by every experiment for a tile size."""
+    nx, ny, nz = (int(v) for v in tile)
+    return HotSpot3D(HotSpot3DConfig(nx=nx, ny=ny, nz=nz, seed=seed))
+
+
+def make_protector_factory(
+    method: str,
+    epsilon: float = PAPER_EPSILON,
+    period: int = 16,
+    **kwargs,
+) -> Callable[[GridBase], Protector]:
+    """Factory building a fresh protector of the requested method per run.
+
+    Parameters
+    ----------
+    method:
+        One of :data:`METHODS`.
+    epsilon:
+        Detection threshold for the ABFT methods.
+    period:
+        Detection/checkpoint period for the offline method.
+    kwargs:
+        Extra arguments forwarded to the protector constructor.
+    """
+    if method == "no-abft":
+        def factory(grid: GridBase) -> Protector:
+            return NoProtection()
+        return factory
+    if method == "online-abft":
+        def factory(grid: GridBase) -> Protector:
+            return OnlineABFT.for_grid(grid, epsilon=epsilon, **kwargs)
+        return factory
+    if method == "offline-abft":
+        def factory(grid: GridBase) -> Protector:
+            return OfflineABFT.for_grid(grid, epsilon=epsilon, period=period, **kwargs)
+        return factory
+    raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")

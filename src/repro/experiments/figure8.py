@@ -1,0 +1,103 @@
+"""Figure 8 — mean execution time of the three methods.
+
+The paper's Figure 8 shows, for tiles of 64x64x8 (a) and 512x512x8 (b),
+the mean execution time and standard deviation of the No-ABFT, Online
+ABFT and Offline ABFT runs, both in an error-free scenario and with a
+single random bit-flip injected during execution. The headline claims
+it supports are:
+
+* in the error-free scenario both ABFT variants cost less than ~8 %
+  over the unprotected run and are close to each other;
+* with a single bit-flip the Offline variant becomes noticeably slower
+  (rollback + recomputation of the detection window) while the Online
+  variant's cost is essentially unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.campaign_runner import SCENARIOS, TileCampaigns, run_tile_campaigns
+from repro.experiments.common import METHODS, EvaluationScale, method_label
+from repro.experiments.report import format_seconds, format_table
+from repro.metrics.timing import overhead_percent
+
+__all__ = ["Figure8Row", "Figure8Result", "run_figure8", "format_figure8"]
+
+
+@dataclass(frozen=True)
+class Figure8Row:
+    """One bar of Figure 8: a (tile, scenario, method) execution time."""
+
+    tile_size: Tuple[int, int, int]
+    scenario: str
+    method: str
+    mean_time: float
+    std_time: float
+    overhead_vs_baseline: float
+
+
+@dataclass
+class Figure8Result:
+    """All bars of Figure 8 plus the underlying campaigns."""
+
+    scale_name: str
+    rows: List[Figure8Row] = field(default_factory=list)
+    campaigns: Dict[Tuple[int, int, int], TileCampaigns] = field(default_factory=dict)
+
+    def row(self, tile, scenario: str, method: str) -> Figure8Row:
+        for r in self.rows:
+            if r.tile_size == tuple(tile) and r.scenario == scenario and r.method == method:
+                return r
+        raise KeyError((tile, scenario, method))
+
+    def overhead(self, tile, scenario: str, method: str) -> float:
+        """Overhead (%) of a method vs. the unprotected run of the same scenario."""
+        return self.row(tile, scenario, method).overhead_vs_baseline
+
+
+def run_figure8(scale: EvaluationScale | None = None) -> Figure8Result:
+    """Regenerate Figure 8 at the requested scale."""
+    scale = scale if scale is not None else EvaluationScale.quick()
+    result = Figure8Result(scale_name=scale.name)
+    for tile in scale.tile_sizes:
+        campaigns = run_tile_campaigns(scale, tile)
+        result.campaigns[tile] = campaigns
+        for scenario in SCENARIOS:
+            baseline = campaigns.get("no-abft", scenario).time_stats().mean
+            for method in METHODS:
+                stats = campaigns.get(method, scenario).time_stats()
+                result.rows.append(
+                    Figure8Row(
+                        tile_size=tile,
+                        scenario=scenario,
+                        method=method,
+                        mean_time=stats.mean,
+                        std_time=stats.std,
+                        overhead_vs_baseline=overhead_percent(stats.mean, baseline),
+                    )
+                )
+    return result
+
+
+def format_figure8(result: Figure8Result) -> str:
+    """Render the Figure 8 series as a text table."""
+    headers = ["Tile", "Scenario", "Method", "Mean time", "Std", "Overhead vs No-ABFT"]
+    rows = []
+    for r in result.rows:
+        rows.append(
+            [
+                "x".join(str(v) for v in r.tile_size),
+                r.scenario,
+                method_label(r.method),
+                format_seconds(r.mean_time),
+                format_seconds(r.std_time),
+                f"{r.overhead_vs_baseline:+.1f}%",
+            ]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=f"Figure 8 — mean execution time ({result.scale_name} scale)",
+    )

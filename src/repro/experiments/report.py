@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment module produces a structured result object; the helpers
+here turn those into aligned text tables so that the benchmark harness
+and the CLI can print the same rows/series the paper reports without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_scientific", "format_seconds"]
+
+
+def format_scientific(value: float, digits: int = 3) -> str:
+    """Scientific notation with a fixed number of significant digits."""
+    if value != value:  # NaN
+        return "nan"
+    return f"{value:.{digits}e}"
+
+
+def format_seconds(value: float) -> str:
+    """Human-friendly seconds."""
+    if value != value:
+        return "nan"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f} µs"
+    if value < 1.0:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value:.3f} s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 3 * (len(widths) - 1)))
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Fault injection: IEEE-754 bit-flips and seeded injection campaigns.
+
+The paper evaluates the ABFT scheme by injecting single bit-flips into
+the stencil domain "during a random stencil iteration, in a random point
+in the computational domain, and at a random bit position" (Section 5.1).
+This subpackage reproduces that fault model:
+
+``bitflip``
+    Raw IEEE-754 bit manipulation on float32/float64 scalars and arrays,
+    including the sign/exponent/fraction field classification used by
+    Figure 10.
+``injector``
+    :class:`FaultPlan` (a concrete fault to inject) and
+    :class:`FaultInjector` (the step hook that fires it at the right
+    iteration).
+``campaign``
+    Orchestration of repeated runs with independent random faults and
+    aggregation of the timing/accuracy statistics the paper reports.
+"""
+
+from repro.faults.bitflip import (
+    bit_width,
+    bit_field,
+    flip_bit,
+    flip_bit_in_array,
+    exponent_bits,
+    fraction_bits,
+    sign_bit,
+)
+from repro.faults.injector import FaultPlan, FaultInjector, random_fault_plan
+from repro.faults.campaign import CampaignConfig, CampaignResult, RunRecord, run_campaign
+
+__all__ = [
+    "bit_width",
+    "bit_field",
+    "flip_bit",
+    "flip_bit_in_array",
+    "exponent_bits",
+    "fraction_bits",
+    "sign_bit",
+    "FaultPlan",
+    "FaultInjector",
+    "random_fault_plan",
+    "CampaignConfig",
+    "CampaignResult",
+    "RunRecord",
+    "run_campaign",
+]

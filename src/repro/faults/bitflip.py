@@ -1,0 +1,145 @@
+"""IEEE-754 bit-flip primitives.
+
+A silent data corruption is modelled as a single bit-flip in the binary
+representation of a floating-point domain value (the paper's fault
+model, Section 5.1). For float32 the bit positions are numbered 0..31
+with bit 31 the sign, bits 23..30 the exponent and bits 0..22 the
+fraction — the classification used by Figure 10 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "bit_width",
+    "sign_bit",
+    "exponent_bits",
+    "fraction_bits",
+    "bit_field",
+    "flip_bit",
+    "flip_bit_in_array",
+]
+
+_UINT_FOR_FLOAT = {
+    np.dtype(np.float32): np.uint32,
+    np.dtype(np.float64): np.uint64,
+}
+
+
+def _uint_type(dtype):
+    """The unsigned-integer scalar type matching a float dtype's width."""
+    dtype = np.dtype(dtype)
+    try:
+        return _UINT_FOR_FLOAT[dtype]
+    except KeyError:
+        raise TypeError(
+            f"bit flips are supported for float32/float64, got {dtype}"
+        ) from None
+
+
+def bit_width(dtype) -> int:
+    """Number of bits in the binary representation of ``dtype`` (32 or 64)."""
+    return int(np.dtype(dtype).itemsize * 8)
+
+
+def sign_bit(dtype) -> int:
+    """Bit position of the sign bit (31 for float32, 63 for float64)."""
+    return bit_width(dtype) - 1
+
+
+def exponent_bits(dtype) -> Tuple[int, int]:
+    """Inclusive range ``(lo, hi)`` of exponent bit positions."""
+    dtype = np.dtype(dtype)
+    if dtype == np.dtype(np.float32):
+        return (23, 30)
+    if dtype == np.dtype(np.float64):
+        return (52, 62)
+    raise TypeError(f"unsupported dtype {dtype}")
+
+
+def fraction_bits(dtype) -> Tuple[int, int]:
+    """Inclusive range ``(lo, hi)`` of fraction (mantissa) bit positions."""
+    dtype = np.dtype(dtype)
+    if dtype == np.dtype(np.float32):
+        return (0, 22)
+    if dtype == np.dtype(np.float64):
+        return (0, 51)
+    raise TypeError(f"unsupported dtype {dtype}")
+
+
+def bit_field(bit: int, dtype) -> str:
+    """Classify a bit position as ``"sign"``, ``"exponent"`` or ``"fraction"``.
+
+    This is the grouping used on the x-axis of Figure 10 in the paper.
+    """
+    width = bit_width(dtype)
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for {np.dtype(dtype)} (0..{width - 1})")
+    if bit == sign_bit(dtype):
+        return "sign"
+    lo, hi = exponent_bits(dtype)
+    if lo <= bit <= hi:
+        return "exponent"
+    return "fraction"
+
+
+def flip_bit(value, bit: int, dtype=None):
+    """Return ``value`` with bit ``bit`` of its binary representation flipped.
+
+    Parameters
+    ----------
+    value:
+        A Python float or NumPy floating scalar.
+    bit:
+        Bit position, 0 = least-significant fraction bit.
+    dtype:
+        Representation to flip in; defaults to the dtype of ``value``
+        (float64 for Python floats).
+    """
+    if dtype is None:
+        dtype = value.dtype if isinstance(value, np.generic) else np.float64
+    dtype = np.dtype(dtype)
+    uint = _uint_type(dtype)
+    width = bit_width(dtype)
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for {dtype} (0..{width - 1})")
+    scalar = np.array([value], dtype=dtype)
+    bits = scalar.view(uint)
+    bits[0] ^= uint(1) << uint(bit)
+    return scalar[0]
+
+
+def flip_bit_in_array(arr: np.ndarray, index, bit: int) -> Tuple[float, float]:
+    """Flip one bit of one element of ``arr`` in place.
+
+    Parameters
+    ----------
+    arr:
+        A float32/float64 array (modified in place).
+    index:
+        Index of the element to corrupt (tuple for multi-dimensional
+        arrays, or a flat integer index).
+    bit:
+        Bit position to flip.
+
+    Returns
+    -------
+    (old_value, new_value)
+        The element value before and after the flip.
+    """
+    uint = _uint_type(arr.dtype)
+    width = bit_width(arr.dtype)
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for {arr.dtype} (0..{width - 1})")
+    if np.isscalar(index) or isinstance(index, (int, np.integer)):
+        index = np.unravel_index(int(index), arr.shape)
+    else:
+        index = tuple(int(i) for i in index)
+    old = float(arr[index])
+    view = arr.view(uint)
+    view[index] ^= uint(1) << uint(bit)
+    new = float(arr[index])
+    return old, new

@@ -1,0 +1,143 @@
+"""Fault plans and the fault-injection step hook.
+
+A :class:`FaultPlan` pins down *when* (iteration), *where* (domain index)
+and *what* (bit position) a silent data corruption strikes. A
+:class:`FaultInjector` holds one or more plans and exposes the
+``inject(grid, iteration)`` hook consumed by every protector: the hook is
+called right after the sweep produced the new domain and before any
+checksum is computed from it, matching the injection point of the
+paper's campaign ("after the stencil point targeted for data corruption
+has been updated and before it is stored into the domain",
+Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.bitflip import bit_width, flip_bit_in_array
+from repro.stencil.grid import GridBase
+
+__all__ = ["FaultPlan", "FaultInjector", "random_fault_plan"]
+
+
+@dataclass
+class FaultPlan:
+    """A single planned silent data corruption.
+
+    Attributes
+    ----------
+    iteration:
+        1-based sweep number during which the corruption strikes (the
+        value ``grid.iteration`` has right after that sweep).
+    index:
+        Domain index of the corrupted point.
+    bit:
+        Bit position flipped in the point's binary representation.
+    """
+
+    iteration: int
+    index: Tuple[int, ...]
+    bit: int
+
+    def __post_init__(self) -> None:
+        self.iteration = int(self.iteration)
+        self.index = tuple(int(i) for i in self.index)
+        self.bit = int(self.bit)
+        if self.iteration < 1:
+            raise ValueError("fault iterations are 1-based; got iteration < 1")
+        if self.bit < 0:
+            raise ValueError("bit position must be non-negative")
+
+
+def random_fault_plan(
+    rng: np.random.Generator,
+    shape: Sequence[int],
+    iterations: int,
+    dtype=np.float32,
+    bit: Optional[int] = None,
+) -> FaultPlan:
+    """Draw a uniformly random fault plan (the paper's fault model).
+
+    Iteration, domain point and (unless ``bit`` is pinned) bit position
+    are drawn independently and uniformly, as in Section 5.1.
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration to inject into")
+    iteration = int(rng.integers(1, iterations + 1))
+    index = tuple(int(rng.integers(0, n)) for n in shape)
+    if bit is None:
+        bit = int(rng.integers(0, bit_width(dtype)))
+    return FaultPlan(iteration=iteration, index=index, bit=int(bit))
+
+
+class FaultInjector:
+    """Step hook that fires planned faults at their target iteration.
+
+    Parameters
+    ----------
+    plans:
+        The faults to inject. Each plan fires at most once — rollback
+        recovery re-executes iterations, and a transient soft error does
+        not re-occur on re-execution.
+
+    Notes
+    -----
+    Instances are callable with the ``(grid, iteration)`` signature every
+    protector expects for its ``inject=`` argument.
+    """
+
+    def __init__(self, plans: Sequence[FaultPlan] | FaultPlan) -> None:
+        if isinstance(plans, FaultPlan):
+            plans = [plans]
+        self.plans: List[FaultPlan] = list(plans)
+        self._fired = [False] * len(self.plans)
+        self.injections: List[Tuple[FaultPlan, float, float]] = []
+
+    # -- factory ---------------------------------------------------------------
+    @classmethod
+    def single_random(
+        cls,
+        rng: np.random.Generator,
+        shape: Sequence[int],
+        iterations: int,
+        dtype=np.float32,
+        bit: Optional[int] = None,
+    ) -> "FaultInjector":
+        """Injector with one uniformly random fault (the paper's campaign)."""
+        return cls([random_fault_plan(rng, shape, iterations, dtype=dtype, bit=bit)])
+
+    # -- hook --------------------------------------------------------------------
+    def __call__(self, grid: GridBase, iteration: int) -> None:
+        self.inject(grid, iteration)
+
+    def inject(self, grid: GridBase, iteration: int) -> None:
+        """Fire every not-yet-fired plan scheduled for ``iteration``."""
+        for i, plan in enumerate(self.plans):
+            if self._fired[i] or plan.iteration != iteration:
+                continue
+            if len(plan.index) != grid.ndim:
+                raise ValueError(
+                    f"fault index {plan.index} does not match domain "
+                    f"dimensionality {grid.ndim}"
+                )
+            old, new = flip_bit_in_array(grid.u, plan.index, plan.bit)
+            self._fired[i] = True
+            self.injections.append((plan, old, new))
+
+    # -- bookkeeping ----------------------------------------------------------
+    @property
+    def fired_count(self) -> int:
+        return sum(self._fired)
+
+    @property
+    def all_fired(self) -> bool:
+        return all(self._fired) if self._fired else True
+
+    def reset(self) -> None:
+        """Re-arm every plan (for reuse across repetitions)."""
+        self._fired = [False] * len(self.plans)
+        self.injections.clear()

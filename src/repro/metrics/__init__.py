@@ -1,0 +1,33 @@
+"""Accuracy and timing metrics used by the evaluation.
+
+``accuracy``
+    The l2-norm arithmetic error against a reference solution
+    (Equation (11) of the paper).
+``timing``
+    Wall-clock timers and overhead computation for the execution-time
+    figures.
+``statistics``
+    Mean/median/max and quartile summaries matching the paper's plots.
+"""
+
+from repro.metrics.accuracy import l2_error, relative_l2_error, max_abs_error
+from repro.metrics.timing import Timer, time_callable, overhead_percent
+from repro.metrics.statistics import (
+    SummaryStats,
+    summarize,
+    quartile_summary,
+    geometric_mean,
+)
+
+__all__ = [
+    "l2_error",
+    "relative_l2_error",
+    "max_abs_error",
+    "Timer",
+    "time_callable",
+    "overhead_percent",
+    "SummaryStats",
+    "summarize",
+    "quartile_summary",
+    "geometric_mean",
+]

@@ -1,0 +1,51 @@
+"""Accuracy metrics (Equation (11) of the paper).
+
+The paper measures the impact of silent errors as the l2-norm of the
+difference between the computed results and a reference value obtained
+from an error-free single-threaded execution:
+
+.. math::
+
+    \\mathrm{error} = \\sqrt{\\sum_i (v^{ref}_i - v^{comp}_i)^2}
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["l2_error", "relative_l2_error", "max_abs_error"]
+
+
+def l2_error(reference: np.ndarray, computed: np.ndarray) -> float:
+    """Arithmetic error: l2-norm of the element-wise difference (Eq. 11)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    computed = np.asarray(computed, dtype=np.float64)
+    if reference.shape != computed.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs computed {computed.shape}"
+        )
+    diff = reference - computed
+    return float(np.sqrt(np.sum(diff * diff)))
+
+
+def relative_l2_error(reference: np.ndarray, computed: np.ndarray) -> float:
+    """l2 error normalised by the l2 norm of the reference."""
+    reference = np.asarray(reference, dtype=np.float64)
+    norm = float(np.sqrt(np.sum(reference * reference)))
+    err = l2_error(reference, computed)
+    if norm == 0.0:
+        return err
+    return err / norm
+
+
+def max_abs_error(reference: np.ndarray, computed: np.ndarray) -> float:
+    """Largest element-wise absolute difference (infinity norm)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    computed = np.asarray(computed, dtype=np.float64)
+    if reference.shape != computed.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs computed {computed.shape}"
+        )
+    if reference.size == 0:
+        return 0.0
+    return float(np.max(np.abs(reference - computed)))

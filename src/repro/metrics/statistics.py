@@ -1,0 +1,74 @@
+"""Distribution summaries matching the paper's plots.
+
+Figure 9 reports mean/median/maximum arithmetic errors; Figure 10 shows
+box plots with the interquartile range and whiskers. These helpers
+compute those summaries from campaign samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize", "quartile_summary", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / median / extrema / spread of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    std: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "min": self.minimum,
+            "max": self.maximum,
+            "std": self.std,
+        }
+
+
+def summarize(samples: Sequence[float]) -> SummaryStats:
+    """Mean/median/min/max/std of a sample (Figure 8 / Figure 9 rows)."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return SummaryStats(count=0, mean=float("nan"), median=float("nan"),
+                            minimum=float("nan"), maximum=float("nan"), std=float("nan"))
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+    )
+
+
+def quartile_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """Quartile box summary (Figure 10: Q1/median/Q3 box, whiskers to 75%)."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return {k: float("nan") for k in ("q1", "median", "q3", "whisker_low", "whisker_high")}
+    q1, med, q3 = (float(q) for q in np.percentile(arr, [25.0, 50.0, 75.0]))
+    # The paper's caption: boxes show the interquartile range, whiskers
+    # extend to cover 75% of the data around the median (12.5 .. 87.5).
+    wlo, whi = (float(q) for q in np.percentile(arr, [12.5, 87.5]))
+    return {"q1": q1, "median": med, "q3": q3, "whisker_low": wlo, "whisker_high": whi}
+
+
+def geometric_mean(samples: Sequence[float], floor: float = 1e-30) -> float:
+    """Geometric mean with a floor to keep zero samples finite."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    arr = np.maximum(arr, floor)
+    return float(np.exp(np.mean(np.log(arr))))

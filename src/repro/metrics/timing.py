@@ -1,0 +1,71 @@
+"""Wall-clock timing helpers for the execution-time experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+__all__ = ["Timer", "time_callable", "overhead_percent"]
+
+
+@dataclass
+class Timer:
+    """A simple accumulating wall-clock timer.
+
+    Can be used as a context manager (accumulates one interval per
+    ``with`` block) or driven manually with :meth:`start`/:meth:`stop`.
+    """
+
+    elapsed: float = 0.0
+    intervals: List[float] = field(default_factory=list)
+    _started_at: float | None = None
+
+    def start(self) -> "Timer":
+        if self._started_at is not None:
+            raise RuntimeError("timer already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("timer is not running")
+        interval = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += interval
+        self.intervals.append(interval)
+        return interval
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.intervals.clear()
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def time_callable(fn: Callable[[], object]) -> Tuple[float, object]:
+    """Run ``fn`` once and return ``(elapsed_seconds, result)``."""
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def overhead_percent(protected_time: float, baseline_time: float) -> float:
+    """Relative overhead of a protected run versus the unprotected baseline.
+
+    The paper's headline claim is "less than 8% overhead compared to the
+    performance of the unprotected stencil application".
+    """
+    if baseline_time <= 0.0:
+        raise ValueError("baseline_time must be positive")
+    return 100.0 * (protected_time - baseline_time) / baseline_time

@@ -1,0 +1,121 @@
+"""Domain decomposition into tiles and layers.
+
+The paper parallelises HotSpot3D by assigning one 2D layer of the 3D
+domain to each OpenMP thread (Section 5.1) and notes that the ABFT
+scheme can equally be applied per chunk/block of a larger domain. The
+helpers here produce both decompositions: a Cartesian tiling of the
+first two axes and a per-layer split of the third.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["TileBox", "partition_extent", "decompose", "decompose_layers"]
+
+
+def partition_extent(n: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``parts`` contiguous, near-equal intervals.
+
+    The first ``n % parts`` intervals are one element longer, which is
+    the usual block distribution of parallel runtimes.
+
+    >>> partition_extent(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if n < parts:
+        raise ValueError(f"cannot split extent {n} into {parts} non-empty parts")
+    base, extra = divmod(n, parts)
+    bounds = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+@dataclass(frozen=True)
+class TileBox:
+    """A rectangular tile of the global domain.
+
+    Attributes
+    ----------
+    index:
+        Cartesian tile coordinates (one integer per decomposed axis).
+    slices:
+        Slices selecting the tile's interior in the global domain
+        (one slice per domain axis).
+    """
+
+    index: Tuple[int, ...]
+    slices: Tuple[slice, ...]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(s.stop - s.start for s in self.slices)
+
+    @property
+    def starts(self) -> Tuple[int, ...]:
+        return tuple(s.start for s in self.slices)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """Whether a global domain index falls inside this tile."""
+        if len(point) != len(self.slices):
+            return False
+        return all(s.start <= int(p) < s.stop for p, s in zip(point, self.slices))
+
+    def to_local(self, point: Sequence[int]) -> Tuple[int, ...]:
+        """Convert a global domain index into tile-local coordinates."""
+        if not self.contains(point):
+            raise ValueError(f"point {tuple(point)} is not inside tile {self.index}")
+        return tuple(int(p) - s.start for p, s in zip(point, self.slices))
+
+
+def decompose(shape: Sequence[int], parts: Sequence[int]) -> List[TileBox]:
+    """Cartesian decomposition of a domain into ``prod(parts)`` tiles.
+
+    Parameters
+    ----------
+    shape:
+        Global domain shape.
+    parts:
+        Number of tiles along each axis. Axes not listed (e.g. the layer
+        axis of a 3D domain when only two values are given) are not
+        split.
+    """
+    shape = tuple(int(n) for n in shape)
+    parts = tuple(int(p) for p in parts)
+    if len(parts) > len(shape):
+        raise ValueError(
+            f"got {len(parts)} part counts for a {len(shape)}-dimensional domain"
+        )
+    parts = parts + (1,) * (len(shape) - len(parts))
+    per_axis = [partition_extent(n, p) for n, p in zip(shape, parts)]
+
+    boxes: List[TileBox] = []
+
+    def _build(axis: int, index: Tuple[int, ...], slices: Tuple[slice, ...]) -> None:
+        if axis == len(shape):
+            boxes.append(TileBox(index=index, slices=slices))
+            return
+        for i, (start, stop) in enumerate(per_axis[axis]):
+            _build(axis + 1, index + (i,), slices + (slice(start, stop),))
+
+    _build(0, (), ())
+    return boxes
+
+
+def decompose_layers(shape: Sequence[int]) -> List[TileBox]:
+    """One tile per z-layer of a 3D domain (the paper's OpenMP mapping)."""
+    shape = tuple(int(n) for n in shape)
+    if len(shape) != 3:
+        raise ValueError(f"decompose_layers expects a 3D shape, got {shape}")
+    nx, ny, nz = shape
+    return [
+        TileBox(index=(z,), slices=(slice(0, nx), slice(0, ny), slice(z, z + 1)))
+        for z in range(nz)
+    ]

@@ -1,0 +1,116 @@
+"""Halo (ghost-cell) helpers for tiled and distributed execution.
+
+In the shared-memory tiled runner the whole previous-step domain is
+available, so a tile's ghost cells are simply a larger slice of the
+globally padded array (:func:`padded_tile_view`). In the simulated
+distributed runner each rank only owns its block, so halo strips are
+exchanged explicitly (:func:`boundary_strip`, :func:`stack_with_halos`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.parallel.decomposition import TileBox
+from repro.stencil.boundary import BoundaryCondition
+from repro.stencil.shift import normalize_radius
+
+__all__ = [
+    "padded_tile_view",
+    "tile_constant",
+    "boundary_strip",
+    "synthesize_ghost",
+    "stack_with_halos",
+]
+
+
+def padded_tile_view(
+    padded_global: np.ndarray, box: TileBox, radius
+) -> np.ndarray:
+    """View of a globally padded array covering a tile plus its halo.
+
+    ``padded_global`` is the output of
+    :func:`repro.stencil.shift.pad_array` for the *whole* domain; the
+    returned view has the tile's interior extent plus ``radius`` ghost
+    cells on every side, whose values are either neighbouring-tile data
+    or the global boundary condition — exactly what
+    :func:`repro.stencil.sweep.sweep_padded` and
+    :meth:`repro.core.online.OnlineABFT.process` expect.
+    """
+    radius = normalize_radius(radius, padded_global.ndim)
+    slices = []
+    for axis, s in enumerate(box.slices):
+        # The global interior index i lives at padded index i + radius;
+        # extending by radius on each side keeps everything in bounds.
+        slices.append(slice(s.start, s.stop + 2 * radius[axis]))
+    return padded_global[tuple(slices)]
+
+
+def tile_constant(
+    constant: Optional[np.ndarray], box: TileBox
+) -> Optional[np.ndarray]:
+    """The tile-local slice of the per-point constant term (or ``None``)."""
+    if constant is None:
+        return None
+    return constant[box.slices]
+
+
+def boundary_strip(u: np.ndarray, axis: int, side: str, width: int) -> np.ndarray:
+    """Copy of the ``width``-thick boundary strip of ``u`` along ``axis``.
+
+    ``side`` is ``"low"`` (indices ``0..width-1``) or ``"high"``
+    (the last ``width`` indices). This is the payload a rank sends to its
+    neighbour during halo exchange.
+    """
+    if width < 1:
+        raise ValueError("strip width must be >= 1")
+    sl = [slice(None)] * u.ndim
+    if side == "low":
+        sl[axis] = slice(0, width)
+    elif side == "high":
+        sl[axis] = slice(u.shape[axis] - width, u.shape[axis])
+    else:
+        raise ValueError(f"side must be 'low' or 'high', got {side!r}")
+    # Explicit copy: the strip is a message payload and must not alias the
+    # sender's interior (ascontiguousarray would return a view for slices
+    # that are already contiguous).
+    return np.array(u[tuple(sl)], copy=True)
+
+
+def synthesize_ghost(
+    u: np.ndarray, axis: int, side: str, width: int, bc: BoundaryCondition
+) -> np.ndarray:
+    """Ghost strip generated from a closed boundary condition.
+
+    Used by ranks that sit at the global domain edge (no neighbour on
+    that side). Periodic boundaries are handled by neighbour wrap-around
+    in the runner, so they never reach this function.
+    """
+    shape = list(u.shape)
+    shape[axis] = width
+    if bc.is_clamp:
+        edge = boundary_strip(u, axis, side, 1)
+        reps = [1] * u.ndim
+        reps[axis] = width
+        return np.tile(edge, reps)
+    if bc.is_periodic:
+        # Wrap-around data belongs to the opposite rank; the runner routes
+        # it as a regular halo message.
+        raise ValueError("periodic ghosts are exchanged, not synthesised")
+    return np.full(shape, bc.fill_value(), dtype=u.dtype)
+
+
+def stack_with_halos(
+    low_ghost: np.ndarray, interior: np.ndarray, high_ghost: np.ndarray, axis: int
+) -> np.ndarray:
+    """Concatenate ``low_ghost | interior | high_ghost`` along ``axis``."""
+    for name, strip in (("low", low_ghost), ("high", high_ghost)):
+        expected = list(interior.shape)
+        expected[axis] = strip.shape[axis]
+        if list(strip.shape) != expected:
+            raise ValueError(
+                f"{name} ghost strip has shape {strip.shape}, expected {tuple(expected)}"
+            )
+    return np.concatenate([low_ghost, interior, high_ghost], axis=axis)

@@ -1,0 +1,55 @@
+"""Stencil computation substrate.
+
+This subpackage implements the computational kernels the ABFT method
+protects: arbitrary weighted stencils on regular 2D and 3D grids
+(Equation (1) of the paper), with clamp ("bounce-back"), periodic,
+constant-value and zero ("empty") boundary conditions.
+
+The implementation is split into small modules:
+
+``spec``
+    :class:`StencilSpec` — the set of stencil points ``{(i, j[, k], w)}``.
+``boundary``
+    :class:`BoundaryCondition` / :class:`BoundarySpec` — per-axis
+    boundary behaviour and the mapping onto ghost-cell padding.
+``shift``
+    Ghost-cell padding and shifted-view helpers shared by the sweep and
+    by the ABFT checksum interpolation.
+``sweep``
+    The generic N-dimensional padded sweep operator.
+``sweep2d`` / ``sweep3d``
+    Dimension-checked convenience wrappers.
+``reference``
+    Deliberately naive loop implementations used as test oracles.
+``grid``
+    :class:`Grid2D` / :class:`Grid3D` — double-buffered domain state.
+``kernels``
+    A library of named stencils (Jacobi, 5/9-point, 7/27-point, ...).
+"""
+
+from repro.stencil.spec import StencilPoint, StencilSpec
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.shift import pad_array, shifted_view, interior_slices
+from repro.stencil.sweep import sweep_padded, sweep
+from repro.stencil.sweep2d import sweep2d
+from repro.stencil.sweep3d import sweep3d
+from repro.stencil.grid import Grid2D, Grid3D, GridBase
+from repro.stencil import kernels
+
+__all__ = [
+    "StencilPoint",
+    "StencilSpec",
+    "BoundaryCondition",
+    "BoundarySpec",
+    "pad_array",
+    "shifted_view",
+    "interior_slices",
+    "sweep_padded",
+    "sweep",
+    "sweep2d",
+    "sweep3d",
+    "Grid2D",
+    "Grid3D",
+    "GridBase",
+    "kernels",
+]

@@ -1,0 +1,191 @@
+"""Boundary conditions for stencil sweeps.
+
+The paper (Section 3.3, "Dealing with Boundary Conditions") distinguishes
+four behaviours for stencil accesses that fall outside the computational
+domain:
+
+* **bounce-back / clamp** — the out-of-range access is redirected to the
+  nearest in-range point (this is what the HotSpot3D kernel in Figure 2 of
+  the paper does with ``w = (x == 0) ? c : c - 1``);
+* **periodic** — indices wrap around;
+* **constant** — out-of-range points hold a fixed value;
+* **empty / zero** — out-of-range points are treated as ``0``.
+
+Every boundary condition is realised uniformly as *ghost-cell padding*
+(:func:`repro.stencil.shift.pad_array`): the domain is surrounded by a
+halo of ``radius`` ghost cells whose values encode the boundary
+behaviour, after which the sweep and the checksum interpolation become
+pure shifts with no per-point branching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["BoundaryCondition", "BoundarySpec"]
+
+_VALID_KINDS = ("clamp", "periodic", "constant", "zero")
+
+
+@dataclass(frozen=True)
+class BoundaryCondition:
+    """Boundary behaviour along a single axis.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"clamp"``, ``"periodic"``, ``"constant"`` or ``"zero"``.
+    value:
+        The boundary value; only meaningful for ``kind="constant"``.
+
+    Examples
+    --------
+    >>> BoundaryCondition.clamp()
+    BoundaryCondition(kind='clamp', value=0.0)
+    >>> BoundaryCondition.constant(80.0).value
+    80.0
+    """
+
+    kind: str
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"unknown boundary kind {self.kind!r}; expected one of {_VALID_KINDS}"
+            )
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def clamp(cls) -> "BoundaryCondition":
+        """Bounce-back boundary: out-of-range accesses use the edge value."""
+        return cls("clamp")
+
+    @classmethod
+    def periodic(cls) -> "BoundaryCondition":
+        """Periodic boundary: indices wrap around the axis."""
+        return cls("periodic")
+
+    @classmethod
+    def constant(cls, value: float) -> "BoundaryCondition":
+        """Constant boundary: out-of-range points hold ``value``."""
+        return cls("constant", float(value))
+
+    @classmethod
+    def zero(cls) -> "BoundaryCondition":
+        """Empty boundary: out-of-range points are treated as zero."""
+        return cls("zero")
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def is_clamp(self) -> bool:
+        return self.kind == "clamp"
+
+    @property
+    def is_periodic(self) -> bool:
+        return self.kind == "periodic"
+
+    @property
+    def is_constant(self) -> bool:
+        return self.kind == "constant"
+
+    @property
+    def is_zero(self) -> bool:
+        return self.kind == "zero"
+
+    def fill_value(self) -> float:
+        """Ghost-cell fill value for ``constant``/``zero`` boundaries."""
+        if self.is_constant:
+            return self.value
+        return 0.0
+
+    def pad_mode(self) -> str:
+        """The :func:`numpy.pad` mode implementing this boundary."""
+        if self.is_clamp:
+            return "edge"
+        if self.is_periodic:
+            return "wrap"
+        return "constant"
+
+
+@dataclass(frozen=True)
+class BoundarySpec:
+    """Per-axis boundary conditions for an N-dimensional domain.
+
+    The paper applies one boundary behaviour to the whole domain; this
+    class generalises that to one condition per axis, which is what the
+    per-layer 3D application needs (e.g. clamp in x/y but zero in z).
+
+    Parameters
+    ----------
+    conditions:
+        Tuple of :class:`BoundaryCondition`, one per array axis, in axis
+        order.
+    """
+
+    conditions: Tuple[BoundaryCondition, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.conditions) == 0:
+            raise ValueError("BoundarySpec needs at least one axis")
+        for bc in self.conditions:
+            if not isinstance(bc, BoundaryCondition):
+                raise TypeError(f"expected BoundaryCondition, got {type(bc)!r}")
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def uniform(cls, bc: BoundaryCondition, ndim: int) -> "BoundarySpec":
+        """The same boundary condition on every axis."""
+        if ndim < 1:
+            raise ValueError("ndim must be >= 1")
+        return cls(tuple(bc for _ in range(ndim)))
+
+    @classmethod
+    def clamp(cls, ndim: int) -> "BoundarySpec":
+        return cls.uniform(BoundaryCondition.clamp(), ndim)
+
+    @classmethod
+    def periodic(cls, ndim: int) -> "BoundarySpec":
+        return cls.uniform(BoundaryCondition.periodic(), ndim)
+
+    @classmethod
+    def zero(cls, ndim: int) -> "BoundarySpec":
+        return cls.uniform(BoundaryCondition.zero(), ndim)
+
+    @classmethod
+    def constant(cls, value: float, ndim: int) -> "BoundarySpec":
+        return cls.uniform(BoundaryCondition.constant(value), ndim)
+
+    @classmethod
+    def from_any(cls, bc, ndim: int) -> "BoundarySpec":
+        """Coerce a :class:`BoundaryCondition`, sequence or spec to a spec."""
+        if isinstance(bc, BoundarySpec):
+            if bc.ndim != ndim:
+                raise ValueError(
+                    f"BoundarySpec has {bc.ndim} axes, domain has {ndim}"
+                )
+            return bc
+        if isinstance(bc, BoundaryCondition):
+            return cls.uniform(bc, ndim)
+        conditions = tuple(bc)
+        if len(conditions) != ndim:
+            raise ValueError(
+                f"expected {ndim} boundary conditions, got {len(conditions)}"
+            )
+        return cls(conditions)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.conditions)
+
+    def axis(self, axis: int) -> BoundaryCondition:
+        """The boundary condition applied along ``axis``."""
+        return self.conditions[axis]
+
+    def __iter__(self):
+        return iter(self.conditions)
+
+    def __getitem__(self, axis: int) -> BoundaryCondition:
+        return self.conditions[axis]

@@ -1,0 +1,233 @@
+"""Double-buffered stencil domain state.
+
+A :class:`GridBase` bundles the domain array, the stencil operator, the
+boundary specification and the optional constant term, and advances the
+computation one sweep at a time while keeping the *previous* step alive.
+
+Keeping the previous step is essential for the ABFT scheme: the checksum
+interpolation of Theorem 1 predicts the step-``t+1`` checksums from the
+step-``t`` checksums **and** a thin strip of step-``t`` boundary values
+(the α/β terms), so the protector reads ``grid.previous_padded`` after
+every sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.shift import pad_array
+from repro.stencil.spec import StencilSpec
+from repro.stencil.sweep import sweep_padded
+
+__all__ = ["GridBase", "Grid2D", "Grid3D", "GridSnapshot"]
+
+
+class GridSnapshot:
+    """Deep copy of a grid's mutable state (used by checkpointing)."""
+
+    __slots__ = ("u", "iteration")
+
+    def __init__(self, u: np.ndarray, iteration: int) -> None:
+        self.u = u.copy()
+        self.iteration = int(iteration)
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the snapshot in bytes."""
+        return int(self.u.nbytes)
+
+
+class GridBase:
+    """Double-buffered stencil domain.
+
+    Parameters
+    ----------
+    initial:
+        Initial domain values (copied unless ``copy=False``).
+    spec:
+        The stencil operator applied at every step.
+    boundary:
+        Boundary condition(s) (anything accepted by
+        :meth:`BoundarySpec.from_any`).
+    constant:
+        Optional per-point constant term :math:`C` added at every sweep
+        (heat source, power map, ...). Same shape as the domain.
+    copy:
+        Whether to copy ``initial``.
+    """
+
+    expected_ndim: Optional[int] = None
+
+    def __init__(
+        self,
+        initial: np.ndarray,
+        spec: StencilSpec,
+        boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
+        constant: Optional[np.ndarray] = None,
+        copy: bool = True,
+    ) -> None:
+        u = np.array(initial, copy=True) if copy else np.asarray(initial)
+        if self.expected_ndim is not None and u.ndim != self.expected_ndim:
+            raise ValueError(
+                f"{type(self).__name__} expects a {self.expected_ndim}D domain, "
+                f"got shape {u.shape}"
+            )
+        if spec.ndim != u.ndim:
+            raise ValueError(
+                f"stencil is {spec.ndim}D but domain has {u.ndim} dimensions"
+            )
+        if not np.issubdtype(u.dtype, np.floating):
+            u = u.astype(np.float32)
+        self.u = u
+        self.spec = spec
+        self.boundary = BoundarySpec.from_any(boundary, u.ndim)
+        if constant is not None:
+            constant = np.asarray(constant, dtype=u.dtype)
+            if constant.shape != u.shape:
+                raise ValueError(
+                    f"constant term has shape {constant.shape}, domain has {u.shape}"
+                )
+        self.constant = constant
+        self.radius = spec.radius()
+        self.iteration = 0
+        self._previous: Optional[np.ndarray] = None
+        self._previous_padded: Optional[np.ndarray] = None
+
+    # -- basic accessors ----------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.u.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.u.dtype
+
+    @property
+    def ndim(self) -> int:
+        return self.u.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.u.size)
+
+    @property
+    def previous(self) -> Optional[np.ndarray]:
+        """Interior domain at the previous step (``None`` before step 1)."""
+        return self._previous
+
+    @property
+    def previous_padded(self) -> Optional[np.ndarray]:
+        """Ghost-padded domain at the previous step (``None`` before step 1)."""
+        return self._previous_padded
+
+    # -- stepping -----------------------------------------------------------
+    def padded_current(self) -> np.ndarray:
+        """Ghost-padded copy of the current domain."""
+        return pad_array(self.u, self.radius, self.boundary)
+
+    def step(self, padded: Optional[np.ndarray] = None) -> np.ndarray:
+        """Advance one stencil sweep and return the new domain.
+
+        Parameters
+        ----------
+        padded:
+            Optional pre-built padded array (used by the parallel tile
+            runner, where ghost cells carry halo data from neighbouring
+            tiles instead of a closed boundary condition). When omitted
+            the grid pads itself from its boundary specification.
+        """
+        if padded is None:
+            padded = self.padded_current()
+        new = sweep_padded(
+            padded, self.spec, self.radius, self.u.shape, constant=self.constant
+        )
+        self._previous = self.u
+        self._previous_padded = padded
+        self.u = new
+        self.iteration += 1
+        return new
+
+    def run(self, iterations: int) -> np.ndarray:
+        """Advance ``iterations`` sweeps and return the final domain."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        for _ in range(iterations):
+            self.step()
+        return self.u
+
+    # -- snapshot / restore ---------------------------------------------------
+    def snapshot(self) -> GridSnapshot:
+        """Deep copy of the current state (for checkpointing)."""
+        return GridSnapshot(self.u, self.iteration)
+
+    def restore(self, snap: GridSnapshot) -> None:
+        """Restore a previously taken snapshot (rollback recovery)."""
+        if snap.u.shape != self.u.shape:
+            raise ValueError(
+                f"snapshot shape {snap.u.shape} does not match domain {self.u.shape}"
+            )
+        self.u = snap.u.copy()
+        self.iteration = snap.iteration
+        self._previous = None
+        self._previous_padded = None
+
+    def copy(self) -> "GridBase":
+        """Independent deep copy of this grid."""
+        clone = type(self)(
+            self.u,
+            self.spec,
+            self.boundary,
+            constant=None if self.constant is None else self.constant.copy(),
+            copy=True,
+        )
+        clone.iteration = self.iteration
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(shape={self.shape}, dtype={self.dtype}, "
+            f"iteration={self.iteration}, k={self.spec.npoints})"
+        )
+
+
+class Grid2D(GridBase):
+    """A 2D stencil domain of shape ``(nx, ny)``, indexed ``u[x, y]``."""
+
+    expected_ndim = 2
+
+    @property
+    def nx(self) -> int:
+        return self.u.shape[0]
+
+    @property
+    def ny(self) -> int:
+        return self.u.shape[1]
+
+
+class Grid3D(GridBase):
+    """A 3D stencil domain of shape ``(nx, ny, nz)``, indexed ``u[x, y, z]``.
+
+    The third axis is the "layer" axis: the paper's evaluation tiles are
+    ``512x512x8`` / ``64x64x8``, i.e. 8 layers, each protected by its own
+    pair of checksum vectors.
+    """
+
+    expected_ndim = 3
+
+    @property
+    def nx(self) -> int:
+        return self.u.shape[0]
+
+    @property
+    def ny(self) -> int:
+        return self.u.shape[1]
+
+    @property
+    def nz(self) -> int:
+        return self.u.shape[2]
+
+    def layer(self, z: int) -> np.ndarray:
+        """View of layer ``z`` (shape ``(nx, ny)``)."""
+        return self.u[:, :, z]

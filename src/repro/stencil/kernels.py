@@ -1,0 +1,128 @@
+"""A library of named stencil operators.
+
+These are the stencils used throughout the examples, tests and
+benchmarks. They cover the application classes the paper's introduction
+motivates (Jacobi/heat diffusion, image smoothing, advection) plus the
+HotSpot3D kernel shape used in the evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.stencil.spec import StencilSpec
+
+__all__ = [
+    "jacobi4",
+    "five_point_diffusion",
+    "nine_point_smoothing",
+    "asymmetric_advection_2d",
+    "seven_point_diffusion_3d",
+    "twenty_seven_point_3d",
+    "asymmetric_advection_3d",
+    "named_stencil",
+]
+
+
+def jacobi4() -> StencilSpec:
+    """2D 4-point Jacobi averaging stencil (the paper's Section 3.1 example)."""
+    return StencilSpec.four_point_average()
+
+
+def five_point_diffusion(alpha: float = 0.1) -> StencilSpec:
+    """Explicit 2D heat-diffusion stencil ``u + alpha * laplacian(u)``.
+
+    Stable for ``alpha <= 0.25``.
+    """
+    if not 0.0 < alpha <= 0.25:
+        raise ValueError(f"alpha must be in (0, 0.25], got {alpha}")
+    return StencilSpec.five_point(
+        center=1.0 - 4.0 * alpha, west=alpha, east=alpha, north=alpha, south=alpha
+    )
+
+
+def nine_point_smoothing() -> StencilSpec:
+    """2D 9-point Gaussian-like smoothing kernel (image processing)."""
+    w_center, w_edge, w_corner = 4.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0
+    return StencilSpec.nine_point(
+        [
+            w_corner, w_edge, w_corner,
+            w_edge, w_center, w_edge,
+            w_corner, w_edge, w_corner,
+        ]
+    )
+
+
+def asymmetric_advection_2d(cx: float = 0.2, cy: float = 0.1) -> StencilSpec:
+    """Upwind advection stencil with *asymmetric* weights.
+
+    Used to exercise the exact α/β boundary-correction terms of
+    Theorem 1: with clamp boundaries the correction terms of an
+    asymmetric stencil do **not** cancel, so a simplified interpolation
+    (Equations 8-9) would raise false positives.
+    """
+    return StencilSpec.from_dict(
+        {
+            (0, 0): 1.0 - cx - cy,
+            (-1, 0): cx,
+            (0, -1): cy,
+        }
+    )
+
+
+def seven_point_diffusion_3d(alpha: float = 0.1) -> StencilSpec:
+    """Explicit 3D heat-diffusion stencil (7-point)."""
+    if not 0.0 < alpha <= 1.0 / 6.0:
+        raise ValueError(f"alpha must be in (0, 1/6], got {alpha}")
+    return StencilSpec.seven_point_3d(
+        center=1.0 - 6.0 * alpha,
+        west=alpha, east=alpha, north=alpha, south=alpha,
+        below=alpha, above=alpha,
+    )
+
+
+def twenty_seven_point_3d() -> StencilSpec:
+    """3D 27-point averaging stencil (dense Moore neighbourhood)."""
+    w = 1.0 / 27.0
+    points = {}
+    for i in (-1, 0, 1):
+        for j in (-1, 0, 1):
+            for k in (-1, 0, 1):
+                points[(i, j, k)] = w
+    return StencilSpec.from_dict(points)
+
+
+def asymmetric_advection_3d(cx: float = 0.15, cy: float = 0.1, cz: float = 0.05) -> StencilSpec:
+    """3D upwind advection stencil with asymmetric weights."""
+    return StencilSpec.from_dict(
+        {
+            (0, 0, 0): 1.0 - cx - cy - cz,
+            (-1, 0, 0): cx,
+            (0, -1, 0): cy,
+            (0, 0, -1): cz,
+        }
+    )
+
+
+_REGISTRY = {
+    "jacobi4": jacobi4,
+    "five_point_diffusion": five_point_diffusion,
+    "nine_point_smoothing": nine_point_smoothing,
+    "asymmetric_advection_2d": asymmetric_advection_2d,
+    "seven_point_diffusion_3d": seven_point_diffusion_3d,
+    "twenty_seven_point_3d": twenty_seven_point_3d,
+    "asymmetric_advection_3d": asymmetric_advection_3d,
+}
+
+
+def named_stencil(name: str, **kwargs) -> StencilSpec:
+    """Build one of the registered stencils by name.
+
+    >>> named_stencil("jacobi4").npoints
+    4
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stencil {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)

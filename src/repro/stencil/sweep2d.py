@@ -1,0 +1,45 @@
+"""Dimension-checked 2D stencil sweep."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.spec import StencilSpec
+from repro.stencil.sweep import sweep
+
+__all__ = ["sweep2d"]
+
+
+def sweep2d(
+    u: np.ndarray,
+    spec: StencilSpec,
+    boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
+    constant: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One sweep of a 2D stencil over a 2D domain.
+
+    Equivalent to the kernel of Figure 2 in the paper (for the five-point
+    case) but valid for any :class:`~repro.stencil.spec.StencilSpec`.
+
+    Parameters
+    ----------
+    u:
+        Domain of shape ``(nx, ny)``; indexed ``u[x, y]``.
+    spec:
+        A 2D stencil.
+    boundary:
+        Boundary condition(s).
+    constant:
+        Optional per-point constant term of shape ``(nx, ny)``.
+    out:
+        Optional output array.
+    """
+    if u.ndim != 2:
+        raise ValueError(f"sweep2d expects a 2D array, got shape {u.shape}")
+    if spec.ndim != 2:
+        raise ValueError(f"sweep2d expects a 2D stencil, got {spec.ndim}D")
+    return sweep(u, spec, boundary, constant=constant, out=out)

@@ -1,0 +1,44 @@
+"""Dimension-checked 3D stencil sweep."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.spec import StencilSpec
+from repro.stencil.sweep import sweep
+
+__all__ = ["sweep3d"]
+
+
+def sweep3d(
+    u: np.ndarray,
+    spec: StencilSpec,
+    boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
+    constant: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One sweep of a 3D stencil over a 3D domain.
+
+    Parameters
+    ----------
+    u:
+        Domain of shape ``(nx, ny, nz)``; indexed ``u[x, y, z]``. The z
+        axis is the "layer" axis used by the per-layer ABFT application
+        (the paper's tiles are ``512x512x8``, i.e. 8 layers).
+    spec:
+        A 3D stencil (e.g. the HotSpot3D seven-point kernel).
+    boundary:
+        Boundary condition(s).
+    constant:
+        Optional per-point constant term of shape ``(nx, ny, nz)``.
+    out:
+        Optional output array.
+    """
+    if u.ndim != 3:
+        raise ValueError(f"sweep3d expects a 3D array, got shape {u.shape}")
+    if spec.ndim != 3:
+        raise ValueError(f"sweep3d expects a 3D stencil, got {spec.ndim}D")
+    return sweep(u, spec, boundary, constant=constant, out=out)

@@ -1,0 +1,176 @@
+"""Unit tests for the stencil applications (HotSpot3D, Jacobi, heat, advection)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.advection import AdvectionConfig, build_advection_grid
+from repro.apps.heat2d import Heat2DConfig, build_heat2d_grid
+from repro.apps.hotspot3d import (
+    MAX_PD,
+    HotSpot3D,
+    HotSpot3DConfig,
+    hotspot3d_coefficients,
+    hotspot3d_stencil,
+)
+from repro.apps.jacobi import JacobiConfig, build_jacobi_grid
+from repro.stencil.grid import Grid2D, Grid3D
+
+
+class TestHotSpot3DConfig:
+    def test_defaults_are_paper_small_tile(self):
+        config = HotSpot3DConfig()
+        assert config.shape == (64, 64, 8)
+
+    def test_paper_constructors(self):
+        assert HotSpot3DConfig.paper_small().shape == (64, 64, 8)
+        assert HotSpot3DConfig.paper_large().shape == (512, 512, 8)
+
+
+class TestHotSpot3DCoefficients:
+    def test_center_weight_balances_neighbours(self):
+        config = HotSpot3DConfig(nx=32, ny=32, nz=4)
+        c = hotspot3d_coefficients(config)
+        assert c["cc"] == pytest.approx(
+            1.0 - (2 * c["ce"] + 2 * c["cn"] + 3 * c["ct"])
+        )
+
+    def test_symmetric_pairs(self):
+        c = hotspot3d_coefficients(HotSpot3DConfig(nx=16, ny=16, nz=4))
+        assert c["ce"] == c["cw"]
+        assert c["cn"] == c["cs"]
+        assert c["ct"] == c["cb"]
+
+    def test_all_neighbour_weights_positive_and_small(self):
+        c = hotspot3d_coefficients(HotSpot3DConfig(nx=64, ny=64, nz=8))
+        for key in ("ce", "cw", "cn", "cs", "ct", "cb"):
+            assert 0.0 < c[key] < 1.0
+        assert 0.0 < c["cc"] < 1.0
+
+    def test_stencil_spec_matches_coefficients(self):
+        config = HotSpot3DConfig(nx=16, ny=16, nz=4)
+        c = hotspot3d_coefficients(config)
+        spec = hotspot3d_stencil(config)
+        assert spec.npoints == 7
+        assert spec.weight_of((0, 0, 0)) == pytest.approx(c["cc"])
+        assert spec.weight_of((1, 0, 0)) == pytest.approx(c["ce"])
+        assert spec.weight_of((0, 0, 1)) == pytest.approx(c["ct"])
+        assert spec.is_fully_symmetric()
+
+
+class TestHotSpot3DApp:
+    def test_build_grid_shape_and_dtype(self, hotspot_small):
+        grid = hotspot_small.build_grid()
+        assert isinstance(grid, Grid3D)
+        assert grid.shape == (16, 16, 4)
+        assert grid.dtype == np.float32
+        assert grid.constant is not None
+
+    def test_power_map_has_hotspots_above_background(self, hotspot_small):
+        power = hotspot_small.power
+        assert power.min() > 0.0
+        assert power.max() > power.min() * 2.0  # hotspots clearly above background
+
+    def test_grids_are_independent_and_identical(self, hotspot_small):
+        g1 = hotspot_small.build_grid()
+        g2 = hotspot_small.build_grid()
+        np.testing.assert_array_equal(g1.u, g2.u)
+        g1.step()
+        assert g2.iteration == 0
+
+    def test_same_seed_reproducible(self):
+        a = HotSpot3D(HotSpot3DConfig(nx=8, ny=8, nz=2, seed=3))
+        b = HotSpot3D(HotSpot3DConfig(nx=8, ny=8, nz=2, seed=3))
+        np.testing.assert_array_equal(a.power, b.power)
+        np.testing.assert_array_equal(a.initial_temperature, b.initial_temperature)
+
+    def test_different_seed_differs(self):
+        a = HotSpot3D(HotSpot3DConfig(nx=8, ny=8, nz=2, seed=3))
+        b = HotSpot3D(HotSpot3DConfig(nx=8, ny=8, nz=2, seed=4))
+        assert not np.array_equal(a.power, b.power)
+
+    def test_temperatures_stay_physical_over_time(self, hotspot_small):
+        config = hotspot_small.config
+        grid = hotspot_small.build_grid()
+        grid.run(200)
+        # Temperatures stay finite and bounded between ambient and the
+        # hotspot equilibrium rise (plus a small margin for the initial noise).
+        assert np.isfinite(grid.u).all()
+        assert grid.u.min() > config.amb_temp
+        assert grid.u.max() < config.amb_temp + config.hotspot_rise + 10.0
+
+    def test_reference_solution_matches_manual_run(self, hotspot_small):
+        ref = hotspot_small.reference_solution(10)
+        grid = hotspot_small.build_grid()
+        grid.run(10)
+        np.testing.assert_array_equal(ref, grid.u)
+
+    def test_boundary_is_clamp(self, hotspot_small):
+        assert hotspot_small.boundary_condition.is_clamp
+
+
+class TestJacobi:
+    def test_build(self):
+        grid = build_jacobi_grid(JacobiConfig(nx=32, ny=24))
+        assert isinstance(grid, Grid2D)
+        assert grid.shape == (32, 24)
+        assert grid.boundary.axis(0).is_constant
+
+    def test_converges_towards_boundary_value(self):
+        config = JacobiConfig(nx=16, ny=16, boundary_value=100.0, initial_value=0.0,
+                              noise=0.0)
+        grid = build_jacobi_grid(config)
+        initial_mean = float(grid.u.mean())
+        grid.run(200)
+        # Laplace relaxation pulls the interior towards the boundary value.
+        assert float(grid.u.mean()) > initial_mean + 50.0
+        assert grid.u.max() <= 100.0 + 1e-3
+
+    def test_default_config(self):
+        grid = build_jacobi_grid()
+        assert grid.shape == (128, 128)
+
+
+class TestHeat2D:
+    def test_build(self):
+        grid = build_heat2d_grid(Heat2DConfig(nx=24, ny=20, sources=2))
+        assert grid.shape == (24, 20)
+        assert grid.constant is not None
+        assert np.count_nonzero(grid.constant) == 2
+
+    def test_sources_heat_the_domain(self):
+        config = Heat2DConfig(nx=20, ny=20, sources=3, source_strength=2.0)
+        grid = build_heat2d_grid(config)
+        total_before = float(grid.u.sum())
+        grid.run(30)
+        assert float(grid.u.sum()) > total_before
+
+    def test_reproducible(self):
+        a = build_heat2d_grid(Heat2DConfig(nx=12, ny=12, seed=5))
+        b = build_heat2d_grid(Heat2DConfig(nx=12, ny=12, seed=5))
+        np.testing.assert_array_equal(a.u, b.u)
+
+
+class TestAdvection:
+    def test_build(self):
+        grid = build_advection_grid(AdvectionConfig(nx=32, ny=32))
+        assert grid.shape == (32, 32)
+        assert not grid.spec.is_fully_symmetric()
+
+    def test_unstable_courant_rejected(self):
+        with pytest.raises(ValueError, match="upwind stability"):
+            build_advection_grid(AdvectionConfig(cx=0.6, cy=0.5))
+
+    def test_unknown_boundary_rejected(self):
+        with pytest.raises(ValueError, match="unknown boundary"):
+            build_advection_grid(AdvectionConfig(boundary="reflect"))
+
+    @pytest.mark.parametrize("boundary", ["clamp", "periodic", "zero"])
+    def test_boundary_options(self, boundary):
+        grid = build_advection_grid(AdvectionConfig(nx=16, ny=16, boundary=boundary))
+        assert grid.boundary.axis(0).kind == boundary
+
+    def test_mass_transported_not_amplified(self):
+        grid = build_advection_grid(AdvectionConfig(nx=24, ny=24, boundary="periodic"))
+        total_before = float(grid.u.sum())
+        grid.run(20)
+        assert float(grid.u.sum()) == pytest.approx(total_before, rel=1e-4)

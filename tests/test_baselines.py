@@ -1,0 +1,149 @@
+"""Unit tests for the TMR and spatial-interpolation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spatial_detector import SpatialInterpolationDetector
+from repro.baselines.tmr import TMRProtector
+from repro.core.protector import NoProtection
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.metrics.accuracy import l2_error
+from repro.stencil.boundary import BoundaryCondition
+from repro.stencil.grid import Grid2D
+from repro.stencil.kernels import five_point_diffusion
+
+
+def _make_grid(rng, shape=(20, 16)):
+    u0 = (rng.random(shape) * 100).astype(np.float32)
+    return Grid2D(u0, five_point_diffusion(0.2), BoundaryCondition.clamp())
+
+
+def _make_smooth_grid(shape=(24, 24)):
+    """A smooth Gaussian-bump temperature field (what data-analytics
+    detectors assume: spatially smooth physical data)."""
+    x = np.arange(shape[0])[:, None]
+    y = np.arange(shape[1])[None, :]
+    u0 = 100.0 + 20.0 * np.exp(
+        -((x - shape[0] / 2) ** 2 + (y - shape[1] / 2) ** 2) / (2.0 * (shape[0] / 3) ** 2)
+    )
+    return Grid2D(u0.astype(np.float32), five_point_diffusion(0.2),
+                  BoundaryCondition.clamp())
+
+
+class TestTMR:
+    def test_error_free_no_detection_and_same_result(self, rng):
+        grid = _make_grid(rng)
+        clone = grid.copy()
+        run = TMRProtector().run(grid, 10)
+        NoProtection().run(clone, 10)
+        assert run.total_detected == 0
+        np.testing.assert_array_equal(grid.u, clone.u)
+
+    def test_detects_and_corrects_injected_fault(self, rng):
+        grid = _make_grid(rng)
+        ref = grid.copy()
+        ref.run(20)
+        injector = FaultInjector([FaultPlan(iteration=7, index=(4, 4), bit=28)])
+        run = TMRProtector().run(grid, 20, inject=injector)
+        assert run.total_detected == 1
+        assert run.total_corrected == 1
+        # TMR recovers the exact replica value: zero residual error.
+        assert l2_error(ref.u, grid.u) == pytest.approx(0.0, abs=1e-12)
+
+    def test_small_fraction_flip_also_caught(self, rng):
+        # Unlike the checksum detector, TMR catches arbitrarily small flips.
+        grid = _make_grid(rng)
+        injector = FaultInjector([FaultPlan(iteration=3, index=(2, 2), bit=0)])
+        run = TMRProtector().run(grid, 5, inject=injector)
+        assert run.total_detected == 1
+        assert run.total_corrected == 1
+
+    def test_counters_and_reset(self, rng):
+        grid = _make_grid(rng)
+        protector = TMRProtector()
+        protector.run(grid, 3, inject=FaultInjector(
+            [FaultPlan(iteration=1, index=(1, 1), bit=30)]
+        ))
+        assert protector.total_detections == 1
+        protector.reset()
+        assert protector.total_detections == 0
+
+    def test_name(self):
+        assert TMRProtector().name == "tmr"
+
+
+class TestSpatialInterpolationDetector:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SpatialInterpolationDetector(threshold=0.0)
+
+    def test_detects_large_corruption(self, rng):
+        grid = _make_grid(rng)
+        injector = FaultInjector([FaultPlan(iteration=5, index=(10, 8), bit=30)])
+        detector = SpatialInterpolationDetector(threshold=1e-2)
+        run = detector.run(grid, 10, inject=injector)
+        assert run.total_detected >= 1
+
+    def test_misses_small_corruption_that_abft_catches(self):
+        # A mid-fraction bit flip (relative perturbation ~0.2%) is below the
+        # spatial detector's sensitivity but above the ABFT detector's —
+        # the comparison drawn in the paper's Section 2.
+        from repro.core.online import OnlineABFT
+
+        plan = FaultPlan(iteration=5, index=(12, 8), bit=14)
+        spatial_grid = _make_smooth_grid()
+        abft_grid = spatial_grid.copy()
+
+        spatial_run = SpatialInterpolationDetector(threshold=1e-2, correct=False).run(
+            spatial_grid, 10, inject=FaultInjector([plan])
+        )
+        abft_run = OnlineABFT.for_grid(abft_grid, epsilon=1e-5).run(
+            abft_grid, 10, inject=FaultInjector([plan])
+        )
+        assert spatial_run.total_detected == 0
+        assert abft_run.total_detected >= 1
+
+    def test_correction_replaces_outlier_with_neighbour_median(self):
+        grid = _make_smooth_grid()
+        ref = grid.copy()
+        ref.run(10)
+        unprotected = grid.copy()
+        plan = FaultPlan(iteration=4, index=(6, 6), bit=29)
+        detector = SpatialInterpolationDetector(threshold=1e-2, correct=True)
+        detector.run(grid, 10, inject=FaultInjector([plan]))
+        NoProtection().run(unprotected, 10, inject=FaultInjector([plan]))
+        # The repaired value is approximate, but the run ends up orders of
+        # magnitude closer to the reference than the unprotected one.
+        assert l2_error(ref.u, grid.u) < 1e-3 * l2_error(ref.u, unprotected.u)
+
+    def test_detect_only_mode_leaves_domain_unchanged(self, rng):
+        grid = _make_grid(rng)
+        injector = FaultInjector([FaultPlan(iteration=2, index=(3, 3), bit=30)])
+        detector = SpatialInterpolationDetector(threshold=1e-2, correct=False)
+        run = detector.run(grid, 4, inject=injector)
+        assert run.total_detected >= 1
+        assert run.total_corrected == 0
+        assert detector.total_uncorrected >= 1
+
+    def test_sharp_legitimate_feature_can_raise_false_positive(self, rng):
+        # The known weakness of data-analytics detectors: a legitimate sharp
+        # feature (strong localized source) looks like an outlier.
+        from repro.stencil.grid import Grid2D
+
+        u0 = np.full((24, 24), 10.0, dtype=np.float32)
+        constant = np.zeros((24, 24), dtype=np.float32)
+        constant[12, 12] = 50.0  # strong point source switched on
+        grid = Grid2D(u0, five_point_diffusion(0.2), BoundaryCondition.clamp(),
+                      constant=constant)
+        detector = SpatialInterpolationDetector(threshold=1e-2, correct=False)
+        run = detector.run(grid, 3)
+        assert run.total_detected > 0  # false positives on clean data
+
+    def test_reset(self, rng):
+        detector = SpatialInterpolationDetector()
+        grid = _make_grid(rng)
+        detector.run(grid, 2, inject=FaultInjector(
+            [FaultPlan(iteration=1, index=(0, 0), bit=30)]
+        ))
+        detector.reset()
+        assert detector.total_detections == 0

@@ -1,0 +1,125 @@
+"""Unit tests for IEEE-754 bit-flip primitives."""
+
+import numpy as np
+import pytest
+
+from repro.faults.bitflip import (
+    bit_field,
+    bit_width,
+    exponent_bits,
+    flip_bit,
+    flip_bit_in_array,
+    fraction_bits,
+    sign_bit,
+)
+
+
+class TestBitLayout:
+    def test_widths(self):
+        assert bit_width(np.float32) == 32
+        assert bit_width(np.float64) == 64
+
+    def test_sign_bit_positions(self):
+        assert sign_bit(np.float32) == 31
+        assert sign_bit(np.float64) == 63
+
+    def test_exponent_ranges(self):
+        assert exponent_bits(np.float32) == (23, 30)
+        assert exponent_bits(np.float64) == (52, 62)
+
+    def test_fraction_ranges(self):
+        assert fraction_bits(np.float32) == (0, 22)
+        assert fraction_bits(np.float64) == (0, 51)
+
+    def test_bit_field_classification_float32(self):
+        assert bit_field(31, np.float32) == "sign"
+        assert bit_field(30, np.float32) == "exponent"
+        assert bit_field(23, np.float32) == "exponent"
+        assert bit_field(22, np.float32) == "fraction"
+        assert bit_field(0, np.float32) == "fraction"
+
+    def test_bit_field_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_field(32, np.float32)
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            exponent_bits(np.int32)
+
+
+class TestFlipBit:
+    def test_sign_flip_negates(self):
+        assert flip_bit(np.float32(1.5), 31) == np.float32(-1.5)
+
+    def test_fraction_flip_small_change(self):
+        original = np.float32(1.0)
+        flipped = flip_bit(original, 0)
+        assert flipped != original
+        assert abs(float(flipped) - 1.0) < 1e-6
+
+    def test_exponent_flip_large_change(self):
+        original = np.float32(1.0)
+        flipped = flip_bit(original, 30)
+        assert abs(float(flipped)) > 1e30 or abs(float(flipped)) < 1e-30
+
+    def test_double_flip_restores_value(self):
+        value = np.float32(123.456)
+        assert flip_bit(flip_bit(value, 17), 17) == value
+
+    def test_python_float_uses_float64(self):
+        flipped = flip_bit(2.0, 63)
+        assert flipped == -2.0
+
+    def test_out_of_range_bit(self):
+        with pytest.raises(ValueError):
+            flip_bit(np.float32(1.0), 32)
+
+
+class TestFlipBitInArray:
+    def test_flip_modifies_only_target(self, rng):
+        arr = rng.random((5, 5)).astype(np.float32)
+        before = arr.copy()
+        old, new = flip_bit_in_array(arr, (2, 3), 30)
+        assert old == before[2, 3]
+        assert new == arr[2, 3]
+        assert old != new
+        mask = np.ones_like(arr, dtype=bool)
+        mask[2, 3] = False
+        np.testing.assert_array_equal(arr[mask], before[mask])
+
+    def test_double_flip_restores_array(self, rng):
+        arr = rng.random(10).astype(np.float32)
+        before = arr.copy()
+        flip_bit_in_array(arr, 4, 12)
+        flip_bit_in_array(arr, 4, 12)
+        np.testing.assert_array_equal(arr, before)
+
+    def test_flat_index_supported(self, rng):
+        arr = rng.random((3, 4)).astype(np.float32)
+        before = arr.copy()
+        flip_bit_in_array(arr, 7, 22)   # flat index 7 -> (1, 3)
+        assert arr[1, 3] != before[1, 3]
+
+    def test_float64_array(self, rng):
+        arr = rng.random(4)
+        old, new = flip_bit_in_array(arr, 1, 63)
+        assert new == -old
+
+    def test_3d_index(self, rng):
+        arr = rng.random((2, 3, 4)).astype(np.float32)
+        old, new = flip_bit_in_array(arr, (1, 2, 3), 28)
+        assert arr[1, 2, 3] == np.float32(new)
+
+    def test_out_of_range_bit(self, rng):
+        arr = rng.random(3).astype(np.float32)
+        with pytest.raises(ValueError):
+            flip_bit_in_array(arr, 0, 40)
+
+    def test_integer_array_rejected(self):
+        with pytest.raises(TypeError):
+            flip_bit_in_array(np.arange(4), 0, 3)
+
+    def test_sign_flip_magnitude_preserved(self, rng):
+        arr = (rng.random(6) * 100).astype(np.float32)
+        old, new = flip_bit_in_array(arr, 2, 31)
+        assert new == -old

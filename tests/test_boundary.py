@@ -1,0 +1,104 @@
+"""Unit tests for boundary conditions and boundary specs."""
+
+import pytest
+
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+
+
+class TestBoundaryCondition:
+    def test_clamp_constructor(self):
+        bc = BoundaryCondition.clamp()
+        assert bc.is_clamp
+        assert not bc.is_periodic
+        assert bc.pad_mode() == "edge"
+
+    def test_periodic_constructor(self):
+        bc = BoundaryCondition.periodic()
+        assert bc.is_periodic
+        assert bc.pad_mode() == "wrap"
+
+    def test_zero_constructor(self):
+        bc = BoundaryCondition.zero()
+        assert bc.is_zero
+        assert bc.fill_value() == 0.0
+        assert bc.pad_mode() == "constant"
+
+    def test_constant_constructor_keeps_value(self):
+        bc = BoundaryCondition.constant(80.0)
+        assert bc.is_constant
+        assert bc.value == 80.0
+        assert bc.fill_value() == 80.0
+
+    def test_constant_value_is_coerced_to_float(self):
+        bc = BoundaryCondition.constant(3)
+        assert isinstance(bc.value, float)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown boundary kind"):
+            BoundaryCondition("reflective")
+
+    def test_fill_value_zero_for_non_constant(self):
+        assert BoundaryCondition.clamp().fill_value() == 0.0
+        assert BoundaryCondition.periodic().fill_value() == 0.0
+
+    def test_equality_and_hash(self):
+        assert BoundaryCondition.clamp() == BoundaryCondition.clamp()
+        assert BoundaryCondition.constant(1.0) != BoundaryCondition.constant(2.0)
+        assert hash(BoundaryCondition.zero()) == hash(BoundaryCondition.zero())
+
+
+class TestBoundarySpec:
+    def test_uniform(self):
+        spec = BoundarySpec.uniform(BoundaryCondition.clamp(), 3)
+        assert spec.ndim == 3
+        assert all(bc.is_clamp for bc in spec)
+
+    def test_named_constructors(self):
+        assert BoundarySpec.clamp(2).axis(0).is_clamp
+        assert BoundarySpec.periodic(2).axis(1).is_periodic
+        assert BoundarySpec.zero(3).axis(2).is_zero
+        assert BoundarySpec.constant(5.0, 2).axis(0).value == 5.0
+
+    def test_from_any_with_condition(self):
+        spec = BoundarySpec.from_any(BoundaryCondition.periodic(), 2)
+        assert spec.ndim == 2
+        assert spec.axis(0).is_periodic
+
+    def test_from_any_with_sequence(self):
+        spec = BoundarySpec.from_any(
+            [BoundaryCondition.clamp(), BoundaryCondition.zero()], 2
+        )
+        assert spec.axis(0).is_clamp
+        assert spec.axis(1).is_zero
+
+    def test_from_any_with_spec_passthrough(self):
+        original = BoundarySpec.clamp(2)
+        assert BoundarySpec.from_any(original, 2) is original
+
+    def test_from_any_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="2 axes"):
+            BoundarySpec.from_any(BoundarySpec.clamp(2), 3)
+
+    def test_from_any_sequence_length_mismatch(self):
+        with pytest.raises(ValueError, match="expected 3 boundary conditions"):
+            BoundarySpec.from_any([BoundaryCondition.clamp()], 3)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            BoundarySpec(())
+
+    def test_wrong_member_type_rejected(self):
+        with pytest.raises(TypeError):
+            BoundarySpec(("clamp",))
+
+    def test_uniform_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            BoundarySpec.uniform(BoundaryCondition.clamp(), 0)
+
+    def test_indexing_and_iteration(self):
+        spec = BoundarySpec(
+            (BoundaryCondition.clamp(), BoundaryCondition.periodic())
+        )
+        assert spec[0].is_clamp
+        assert spec[1].is_periodic
+        assert [bc.kind for bc in spec] == ["clamp", "periodic"]

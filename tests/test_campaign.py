@@ -1,0 +1,119 @@
+"""Unit tests for fault-injection campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineABFT
+from repro.core.protector import NoProtection
+from repro.faults.campaign import (
+    CampaignConfig,
+    RunRecord,
+    compute_reference,
+    run_campaign,
+)
+from repro.stencil.boundary import BoundaryCondition
+from repro.stencil.grid import Grid2D
+from repro.stencil.kernels import five_point_diffusion
+
+
+def _grid_factory():
+    rng = np.random.default_rng(11)
+    u0 = (rng.random((16, 12)) * 100).astype(np.float32)
+
+    def factory():
+        return Grid2D(u0, five_point_diffusion(0.2), BoundaryCondition.clamp())
+
+    return factory
+
+
+class TestCampaignConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(iterations=0, repetitions=1)
+        with pytest.raises(ValueError):
+            CampaignConfig(iterations=1, repetitions=0)
+
+    def test_defaults(self):
+        config = CampaignConfig(iterations=10, repetitions=3)
+        assert config.inject is True
+        assert config.bit is None
+
+
+class TestComputeReference:
+    def test_reference_is_error_free_final_state(self):
+        factory = _grid_factory()
+        ref = compute_reference(factory, 12)
+        grid = factory()
+        grid.run(12)
+        np.testing.assert_array_equal(ref, grid.u)
+
+
+class TestRunCampaign:
+    def test_error_free_campaign_records_zero_error(self):
+        factory = _grid_factory()
+        config = CampaignConfig(iterations=8, repetitions=3, inject=False)
+        result = run_campaign(factory, lambda g: NoProtection(), config)
+        assert len(result) == 3
+        assert all(r.arithmetic_error == 0.0 for r in result.records)
+        assert all(not r.injected for r in result.records)
+        assert np.isnan(result.detection_rate())
+        assert result.false_positive_rate() == 0.0
+
+    def test_injected_campaign_draws_independent_faults(self):
+        factory = _grid_factory()
+        config = CampaignConfig(iterations=10, repetitions=5, inject=True, seed=3)
+        result = run_campaign(factory, lambda g: NoProtection(), config)
+        faults = [r.fault for r in result.records]
+        assert all(f is not None for f in faults)
+        assert len({(f.iteration, f.index, f.bit) for f in faults}) > 1
+
+    def test_campaign_reproducible_with_same_seed(self):
+        factory = _grid_factory()
+        config = CampaignConfig(iterations=10, repetitions=4, inject=True, seed=17)
+        r1 = run_campaign(factory, lambda g: NoProtection(), config)
+        r2 = run_campaign(factory, lambda g: NoProtection(), config)
+        assert [r.fault for r in r1.records] == [r.fault for r in r2.records]
+        assert r1.errors() == pytest.approx(r2.errors())
+
+    def test_online_abft_campaign_counts_detections(self):
+        factory = _grid_factory()
+        config = CampaignConfig(iterations=12, repetitions=6, inject=True, seed=2)
+        result = run_campaign(
+            factory, lambda g: OnlineABFT.for_grid(g, epsilon=1e-5), config
+        )
+        assert result.protector_name == "online-abft"
+        # High bits are detected; very low bits are not: the rate is within (0, 1].
+        assert 0.0 <= result.detection_rate() <= 1.0
+        detected_runs = [r for r in result.records if r.detected]
+        for run in detected_runs:
+            assert run.errors_corrected >= 0
+
+    def test_pinned_bit_position(self):
+        factory = _grid_factory()
+        config = CampaignConfig(iterations=6, repetitions=4, inject=True, bit=30, seed=1)
+        result = run_campaign(factory, lambda g: NoProtection(), config)
+        assert all(r.fault.bit == 30 for r in result.records)
+
+    def test_time_and_error_stats(self):
+        factory = _grid_factory()
+        config = CampaignConfig(iterations=5, repetitions=3, inject=False)
+        result = run_campaign(factory, lambda g: NoProtection(), config)
+        assert result.time_stats().count == 3
+        assert result.time_stats().mean > 0.0
+        assert result.error_stats().maximum == 0.0
+
+    def test_precomputed_reference_reused(self):
+        factory = _grid_factory()
+        ref = compute_reference(factory, 5)
+        config = CampaignConfig(iterations=5, repetitions=2, inject=False)
+        result = run_campaign(factory, lambda g: NoProtection(), config, reference=ref)
+        assert all(r.arithmetic_error == 0.0 for r in result.records)
+
+    def test_run_record_properties(self):
+        record = RunRecord(
+            run_index=0, elapsed_seconds=0.1, arithmetic_error=1.0, fault=None,
+            errors_detected=0, errors_corrected=0, errors_uncorrected=0,
+            rollbacks=0, recomputed_iterations=0,
+        )
+        assert not record.injected
+        assert not record.detected

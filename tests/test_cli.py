@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "figure8", "figure9", "figure10", "figure11",
+                        "sensitivity", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert args.scale == "quick"
+
+    def test_scale_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--scale", "paper"])
+        assert args.scale == "paper"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table1", "--scale", "huge"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro-abft" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_table1_runs_and_prints(self, capsys):
+        assert main(["table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Stencil iterations" in out
+
+    def test_output_file_written(self, tmp_path, capsys):
+        target = tmp_path / "table1.txt"
+        assert main(["table1", "--scale", "smoke", "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert target.exists()
+        assert "Table 1" in target.read_text()
+
+    def test_figure11_smoke(self, capsys):
+        assert main(["figure11", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "Period" in out
+
+    def test_sensitivity_smoke(self, capsys):
+        assert main(["sensitivity", "--scale", "smoke"]) == 0
+        assert "Detection sensitivity" in capsys.readouterr().out

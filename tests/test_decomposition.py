@@ -1,0 +1,106 @@
+"""Unit tests for tile/layer decomposition."""
+
+import pytest
+
+from repro.parallel.decomposition import (
+    TileBox,
+    decompose,
+    decompose_layers,
+    partition_extent,
+)
+
+
+class TestPartitionExtent:
+    def test_even_split(self):
+        assert partition_extent(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_uneven_split_front_loads_remainder(self):
+        assert partition_extent(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_single_part(self):
+        assert partition_extent(5, 1) == [(0, 5)]
+
+    def test_parts_equal_extent(self):
+        assert partition_extent(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_covers_whole_extent_without_overlap(self):
+        for n, p in [(17, 4), (100, 7), (8, 3)]:
+            bounds = partition_extent(n, p)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == n
+            for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+                assert a1 == b0
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ValueError):
+            partition_extent(3, 4)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            partition_extent(3, 0)
+
+
+class TestTileBox:
+    def test_shape_and_starts(self):
+        box = TileBox(index=(0, 1), slices=(slice(0, 4), slice(4, 10)))
+        assert box.shape == (4, 6)
+        assert box.starts == (0, 4)
+
+    def test_contains_and_to_local(self):
+        box = TileBox(index=(1,), slices=(slice(3, 6), slice(0, 4)))
+        assert box.contains((4, 2))
+        assert not box.contains((6, 0))
+        assert not box.contains((4,))
+        assert box.to_local((4, 2)) == (1, 2)
+
+    def test_to_local_outside_rejected(self):
+        box = TileBox(index=(0,), slices=(slice(0, 2), slice(0, 2)))
+        with pytest.raises(ValueError):
+            box.to_local((5, 5))
+
+
+class TestDecompose:
+    def test_2d_tiling_covers_domain(self):
+        boxes = decompose((10, 8), (2, 2))
+        assert len(boxes) == 4
+        covered = set()
+        for box in boxes:
+            for x in range(box.slices[0].start, box.slices[0].stop):
+                for y in range(box.slices[1].start, box.slices[1].stop):
+                    assert (x, y) not in covered
+                    covered.add((x, y))
+        assert len(covered) == 80
+
+    def test_3d_partial_parts_leave_trailing_axes_unsplit(self):
+        boxes = decompose((8, 8, 4), (2, 2))
+        assert len(boxes) == 4
+        assert all(box.slices[2] == slice(0, 4) for box in boxes)
+
+    def test_indices_are_cartesian(self):
+        boxes = decompose((6, 6), (3, 2))
+        assert {box.index for box in boxes} == {
+            (i, j) for i in range(3) for j in range(2)
+        }
+
+    def test_too_many_part_axes_rejected(self):
+        with pytest.raises(ValueError):
+            decompose((8, 8), (2, 2, 2))
+
+    def test_single_tile(self):
+        boxes = decompose((5, 5), (1, 1))
+        assert len(boxes) == 1
+        assert boxes[0].shape == (5, 5)
+
+
+class TestDecomposeLayers:
+    def test_one_tile_per_layer(self):
+        boxes = decompose_layers((16, 16, 8))
+        assert len(boxes) == 8
+        for z, box in enumerate(boxes):
+            assert box.shape == (16, 16, 1)
+            assert box.slices[2] == slice(z, z + 1)
+            assert box.index == (z,)
+
+    def test_rejects_2d_shape(self):
+        with pytest.raises(ValueError):
+            decompose_layers((8, 8))

@@ -1,0 +1,146 @@
+"""Unit tests for executors and halo helpers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.decomposition import decompose
+from repro.parallel.executor import (
+    SerialExecutor,
+    ThreadPoolTileExecutor,
+    make_executor,
+)
+from repro.parallel.halo import (
+    boundary_strip,
+    padded_tile_view,
+    stack_with_halos,
+    synthesize_ghost,
+    tile_constant,
+)
+from repro.stencil.boundary import BoundaryCondition
+from repro.stencil.shift import pad_array
+
+
+class TestExecutors:
+    def test_serial_map_preserves_order(self):
+        ex = SerialExecutor()
+        assert ex.map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_thread_pool_map_matches_serial(self):
+        items = list(range(50))
+        with ThreadPoolTileExecutor(workers=4) as pool:
+            result = pool.map(lambda x: x * x, items)
+        assert result == [x * x for x in items]
+
+    def test_thread_pool_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ThreadPoolTileExecutor(workers=0)
+
+    def test_thread_pool_shutdown_idempotent(self):
+        pool = ThreadPoolTileExecutor(workers=2)
+        pool.map(lambda x: x, [1])
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_serial_context_manager(self):
+        with SerialExecutor() as ex:
+            assert ex.map(len, ["ab"]) == [2]
+
+    def test_make_executor(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("threads", workers=2), ThreadPoolTileExecutor)
+        with pytest.raises(ValueError):
+            make_executor("mpi")
+
+
+class TestPaddedTileView:
+    def test_interior_tile_halo_holds_neighbor_data(self, rng):
+        u = rng.random((8, 8))
+        padded = pad_array(u, 1, BoundaryCondition.clamp())
+        boxes = decompose(u.shape, (2, 2))
+        # tile (1, 1): its low-side ghost rows must be the last row of tile (0, 1)
+        box = [b for b in boxes if b.index == (1, 1)][0]
+        view = padded_tile_view(padded, box, 1)
+        assert view.shape == (6, 6)
+        np.testing.assert_array_equal(view[0, 1:-1], u[3, 4:8])
+
+    def test_domain_edge_tile_halo_holds_boundary_condition(self, rng):
+        u = rng.random((6, 6))
+        padded = pad_array(u, 1, BoundaryCondition.constant(9.0))
+        box = decompose(u.shape, (2, 2))[0]  # tile (0, 0) touches the domain edge
+        view = padded_tile_view(padded, box, 1)
+        assert view[0, 0] == 9.0
+
+    def test_tile_interior_preserved(self, rng):
+        u = rng.random((9, 7))
+        padded = pad_array(u, 2, BoundaryCondition.zero())
+        for box in decompose(u.shape, (3, 1)):
+            view = padded_tile_view(padded, box, 2)
+            np.testing.assert_array_equal(view[2:-2, 2:-2], u[box.slices])
+
+
+class TestTileConstant:
+    def test_none_passthrough(self):
+        box = decompose((4, 4), (2, 2))[0]
+        assert tile_constant(None, box) is None
+
+    def test_slicing(self, rng):
+        c = rng.random((6, 6))
+        box = decompose((6, 6), (2, 2))[3]
+        np.testing.assert_array_equal(tile_constant(c, box), c[3:, 3:])
+
+
+class TestHaloStrips:
+    def test_boundary_strip_low_high(self, rng):
+        u = rng.random((5, 4))
+        np.testing.assert_array_equal(boundary_strip(u, 0, "low", 2), u[:2])
+        np.testing.assert_array_equal(boundary_strip(u, 0, "high", 1), u[4:])
+        np.testing.assert_array_equal(boundary_strip(u, 1, "high", 2), u[:, 2:])
+
+    def test_boundary_strip_is_a_copy(self, rng):
+        u = rng.random((4, 4))
+        strip = boundary_strip(u, 0, "low", 1)
+        u[0, 0] = 77.0
+        assert strip[0, 0] != 77.0
+
+    def test_boundary_strip_validation(self, rng):
+        u = rng.random((4, 4))
+        with pytest.raises(ValueError):
+            boundary_strip(u, 0, "middle", 1)
+        with pytest.raises(ValueError):
+            boundary_strip(u, 0, "low", 0)
+
+    def test_synthesize_clamp_ghost(self, rng):
+        u = rng.random((4, 3))
+        ghost = synthesize_ghost(u, 0, "high", 2, BoundaryCondition.clamp())
+        assert ghost.shape == (2, 3)
+        np.testing.assert_array_equal(ghost[0], u[-1])
+        np.testing.assert_array_equal(ghost[1], u[-1])
+
+    def test_synthesize_constant_and_zero_ghost(self, rng):
+        u = rng.random((4, 3))
+        np.testing.assert_array_equal(
+            synthesize_ghost(u, 1, "low", 1, BoundaryCondition.zero()),
+            np.zeros((4, 1)),
+        )
+        np.testing.assert_array_equal(
+            synthesize_ghost(u, 1, "low", 1, BoundaryCondition.constant(2.0)),
+            np.full((4, 1), 2.0),
+        )
+
+    def test_synthesize_periodic_rejected(self, rng):
+        with pytest.raises(ValueError, match="exchanged"):
+            synthesize_ghost(rng.random((3, 3)), 0, "low", 1, BoundaryCondition.periodic())
+
+    def test_stack_with_halos(self, rng):
+        interior = rng.random((4, 3))
+        lo = rng.random((1, 3))
+        hi = rng.random((1, 3))
+        stacked = stack_with_halos(lo, interior, hi, 0)
+        assert stacked.shape == (6, 3)
+        np.testing.assert_array_equal(stacked[0:1], lo)
+        np.testing.assert_array_equal(stacked[1:5], interior)
+
+    def test_stack_with_halos_shape_validation(self, rng):
+        interior = rng.random((4, 3))
+        with pytest.raises(ValueError, match="ghost strip"):
+            stack_with_halos(rng.random((1, 2)), interior, rng.random((1, 3)), 0)

@@ -1,0 +1,117 @@
+"""Unit tests for experiment scaffolding: scales, table 1, report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.offline import OfflineABFT
+from repro.core.online import OnlineABFT
+from repro.core.protector import NoProtection
+from repro.experiments.common import (
+    METHODS,
+    EvaluationScale,
+    make_hotspot_app,
+    make_protector_factory,
+    method_label,
+)
+from repro.experiments.report import format_scientific, format_seconds, format_table
+from repro.experiments.table1 import format_table1, run_table1
+
+
+class TestEvaluationScale:
+    def test_paper_scale_matches_table1(self):
+        scale = EvaluationScale.paper()
+        small, large = (64, 64, 8), (512, 512, 8)
+        assert scale.tile_sizes == (small, large)
+        assert scale.iterations[small] == 128
+        assert scale.iterations[large] == 256
+        assert scale.repetitions[small] == 1000
+        assert scale.repetitions[large] == 100
+        assert scale.epsilon == 1e-5
+        assert scale.period == 16
+        assert scale.detection_periods == (1, 2, 4, 8, 16, 32, 64, 128)
+        assert scale.bit_positions == tuple(range(32))
+
+    def test_quick_scale_is_smaller(self):
+        quick = EvaluationScale.quick()
+        paper = EvaluationScale.paper()
+        for tile in quick.tile_sizes:
+            assert np.prod(tile) < np.prod(paper.tile_sizes[1])
+            assert quick.iterations[tile] <= 128
+        assert quick.name == "quick"
+
+    def test_smoke_scale_is_tiny(self):
+        smoke = EvaluationScale.smoke()
+        assert all(np.prod(t) <= 1024 for t in smoke.tile_sizes)
+
+    def test_primary_tile(self):
+        scale = EvaluationScale.smoke()
+        assert scale.primary_tile() == scale.tile_sizes[0]
+
+
+class TestProtectorFactories:
+    def test_methods_tuple(self):
+        assert METHODS == ("no-abft", "online-abft", "offline-abft")
+
+    def test_method_labels(self):
+        assert method_label("no-abft") == "No ABFT"
+        assert method_label("online-abft") == "ABFT (Online)"
+        assert method_label("unknown") == "unknown"
+
+    def test_factories_build_correct_types(self):
+        app = make_hotspot_app((8, 8, 2))
+        grid = app.build_grid()
+        assert isinstance(make_protector_factory("no-abft")(grid), NoProtection)
+        assert isinstance(make_protector_factory("online-abft")(grid), OnlineABFT)
+        offline = make_protector_factory("offline-abft", period=4)(grid)
+        assert isinstance(offline, OfflineABFT)
+        assert offline.period == 4
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_protector_factory("dmr")
+
+    def test_make_hotspot_app_shape(self):
+        app = make_hotspot_app((10, 12, 3))
+        assert app.shape == (10, 12, 3)
+
+
+class TestTable1:
+    def test_rows_match_scale(self):
+        scale = EvaluationScale.paper()
+        result = run_table1(scale)
+        assert len(result.rows) == 2
+        as_dict = result.as_dict()
+        assert as_dict["64x64x8"]["iterations"] == 128
+        assert as_dict["512x512x8"]["repetitions"] == 100
+        assert as_dict["64x64x8"]["epsilon"] == 1e-5
+        assert as_dict["512x512x8"]["offline_period"] == 16
+
+    def test_format_contains_parameters(self):
+        text = format_table1(run_table1(EvaluationScale.paper()))
+        assert "Stencil iterations" in text
+        assert "512x512x8" in text
+        assert "1e-05" in text
+
+    def test_default_scale_is_quick(self):
+        assert run_table1().scale_name == "quick"
+
+
+class TestReportRendering:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(
+            ["a", "column"], [[1, 2.5], ["xyz", "w"]], title="My Table"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "a" in lines[2] and "column" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_scientific(self):
+        assert format_scientific(0.000123, 2) == "1.23e-04"
+        assert format_scientific(float("nan")) == "nan"
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(5e-7).endswith("µs")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.0).endswith("s")
+        assert format_seconds(float("nan")) == "nan"

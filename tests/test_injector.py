@@ -1,0 +1,126 @@
+"""Unit tests for fault plans and the fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector, FaultPlan, random_fault_plan
+
+
+class TestFaultPlan:
+    def test_basic(self):
+        plan = FaultPlan(iteration=3, index=(1, 2), bit=17)
+        assert plan.iteration == 3
+        assert plan.index == (1, 2)
+        assert plan.bit == 17
+
+    def test_coercion(self):
+        plan = FaultPlan(iteration=np.int64(2), index=(np.int64(0), np.int64(1)), bit=np.int64(5))
+        assert isinstance(plan.iteration, int)
+        assert all(isinstance(i, int) for i in plan.index)
+
+    def test_iteration_must_be_positive(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan(iteration=0, index=(0, 0), bit=3)
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(iteration=1, index=(0, 0), bit=-1)
+
+
+class TestRandomFaultPlan:
+    def test_within_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            plan = random_fault_plan(rng, (8, 6, 4), iterations=20, dtype=np.float32)
+            assert 1 <= plan.iteration <= 20
+            assert 0 <= plan.index[0] < 8
+            assert 0 <= plan.index[1] < 6
+            assert 0 <= plan.index[2] < 4
+            assert 0 <= plan.bit < 32
+
+    def test_pinned_bit(self):
+        rng = np.random.default_rng(1)
+        plan = random_fault_plan(rng, (4, 4), iterations=10, bit=29)
+        assert plan.bit == 29
+
+    def test_float64_bit_range(self):
+        rng = np.random.default_rng(2)
+        bits = {
+            random_fault_plan(rng, (4, 4), 5, dtype=np.float64).bit for _ in range(200)
+        }
+        assert max(bits) > 31  # draws from the full 64-bit range
+
+    def test_reproducible_with_same_seed(self):
+        a = random_fault_plan(np.random.default_rng(7), (10, 10), 50)
+        b = random_fault_plan(np.random.default_rng(7), (10, 10), 50)
+        assert a == b
+
+    def test_requires_iterations(self):
+        with pytest.raises(ValueError):
+            random_fault_plan(np.random.default_rng(0), (4, 4), 0)
+
+
+class TestFaultInjector:
+    def test_fires_exactly_once_at_target_iteration(self, small_grid_2d):
+        plan = FaultPlan(iteration=3, index=(4, 4), bit=30)
+        injector = FaultInjector([plan])
+        for _ in range(5):
+            before = small_grid_2d.u[4, 4]
+            small_grid_2d.step()
+            injector(small_grid_2d, small_grid_2d.iteration)
+        assert injector.fired_count == 1
+        assert injector.all_fired
+        assert len(injector.injections) == 1
+        fired_plan, old, new = injector.injections[0]
+        assert fired_plan is plan
+        assert old != new
+
+    def test_single_plan_can_be_passed_directly(self, small_grid_2d):
+        injector = FaultInjector(FaultPlan(iteration=1, index=(0, 0), bit=30))
+        small_grid_2d.step()
+        injector(small_grid_2d, 1)
+        assert injector.all_fired
+
+    def test_does_not_fire_on_other_iterations(self, small_grid_2d):
+        injector = FaultInjector([FaultPlan(iteration=99, index=(0, 0), bit=3)])
+        small_grid_2d.step()
+        injector(small_grid_2d, small_grid_2d.iteration)
+        assert injector.fired_count == 0
+        assert not injector.all_fired
+
+    def test_does_not_refire_on_recomputation(self, small_grid_2d):
+        # Rollback recovery replays iterations; a transient fault must not
+        # strike again.
+        injector = FaultInjector([FaultPlan(iteration=2, index=(1, 1), bit=27)])
+        small_grid_2d.step()
+        small_grid_2d.step()
+        injector(small_grid_2d, 2)
+        value_after_first = small_grid_2d.u[1, 1]
+        injector(small_grid_2d, 2)  # replay of iteration 2
+        assert small_grid_2d.u[1, 1] == value_after_first
+        assert injector.fired_count == 1
+
+    def test_dimension_mismatch_rejected(self, small_grid_2d):
+        injector = FaultInjector([FaultPlan(iteration=1, index=(1, 1, 1), bit=3)])
+        small_grid_2d.step()
+        with pytest.raises(ValueError, match="dimensionality"):
+            injector(small_grid_2d, 1)
+
+    def test_reset_rearms_plans(self, small_grid_2d):
+        injector = FaultInjector([FaultPlan(iteration=1, index=(2, 2), bit=31)])
+        small_grid_2d.step()
+        injector(small_grid_2d, 1)
+        assert injector.all_fired
+        injector.reset()
+        assert injector.fired_count == 0
+        injector(small_grid_2d, 1)
+        assert injector.fired_count == 1
+
+    def test_single_random_factory(self, small_grid_2d):
+        rng = np.random.default_rng(5)
+        injector = FaultInjector.single_random(rng, small_grid_2d.shape, 10)
+        assert len(injector.plans) == 1
+        assert 1 <= injector.plans[0].iteration <= 10
+
+    def test_empty_injector_is_trivially_all_fired(self):
+        assert FaultInjector([]).all_fired

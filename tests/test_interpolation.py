@@ -1,0 +1,222 @@
+"""Unit tests for the checksum interpolation (Theorem 1).
+
+The central invariant: for *any* stencil, boundary condition and
+dimensionality, the checksum predicted from the step-t checksum equals
+(in exact arithmetic) the checksum computed directly from the step-t+1
+domain. These tests verify it in float64 where the two agree to
+round-off, for every combination the paper's Theorem 1 covers —
+including the asymmetric-weight cases where the α/β terms do not cancel.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import all_boundary_conditions, stencil_library_2d, stencil_library_3d
+from repro.core.checksums import checksum
+from repro.core.interpolation import (
+    extract_delta_strips,
+    interpolate_checksum,
+    interpolate_checksum_padded,
+    interpolate_checksum_reduced,
+    reduced_boundary,
+)
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.kernels import asymmetric_advection_2d, jacobi4
+from repro.stencil.shift import pad_array
+from repro.stencil.sweep import sweep
+
+
+@pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+@pytest.mark.parametrize(
+    "spec", stencil_library_2d(), ids=["jacobi4", "diffusion5", "smooth9", "advection"]
+)
+@pytest.mark.parametrize("axis", [0, 1], ids=["column_b", "row_a"])
+def test_interpolation_matches_direct_checksum_2d(rng, bc, spec, axis):
+    u = rng.random((12, 10))
+    constant = rng.random((12, 10))
+    bspec = BoundarySpec.uniform(bc, 2)
+    u_new = sweep(u, spec, bspec, constant=constant)
+    direct = checksum(u_new, axis)
+    predicted = interpolate_checksum(
+        checksum(u, axis), u, spec, bspec, axis, constant=constant
+    )
+    np.testing.assert_allclose(predicted, direct, rtol=1e-10)
+
+
+@pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+@pytest.mark.parametrize(
+    "spec", stencil_library_3d(), ids=["diffusion7", "box27", "advection3d"]
+)
+@pytest.mark.parametrize("axis", [0, 1], ids=["column_b", "row_a"])
+def test_interpolation_matches_direct_checksum_3d(rng, bc, spec, axis):
+    u = rng.random((7, 6, 4))
+    bspec = BoundarySpec.uniform(bc, 3)
+    u_new = sweep(u, spec, bspec)
+    direct = checksum(u_new, axis)
+    predicted = interpolate_checksum(checksum(u, axis), u, spec, bspec, axis)
+    np.testing.assert_allclose(predicted, direct, rtol=1e-10)
+
+
+def test_interpolation_without_constant_term(rng):
+    spec = jacobi4()
+    u = rng.random((9, 9))
+    bspec = BoundarySpec.clamp(2)
+    u_new = sweep(u, spec, bspec)
+    predicted = interpolate_checksum(checksum(u, 0), u, spec, bspec, 0)
+    np.testing.assert_allclose(predicted, checksum(u_new, 0), rtol=1e-10)
+
+
+def test_interpolation_shape_validation(rng):
+    spec = jacobi4()
+    u = rng.random((6, 6))
+    padded = pad_array(u, spec.radius(), BoundarySpec.clamp(2))
+    with pytest.raises(ValueError, match="cs_prev has shape"):
+        interpolate_checksum_padded(np.zeros(5), padded, spec, spec.radius(), u.shape, 0)
+
+
+def test_interpolation_invalid_axis(rng):
+    spec = jacobi4()
+    u = rng.random((6, 6))
+    padded = pad_array(u, spec.radius(), BoundarySpec.clamp(2))
+    with pytest.raises(ValueError, match="reduce_axis"):
+        interpolate_checksum_padded(
+            checksum(u, 0), padded, spec, spec.radius(), u.shape, 2
+        )
+
+
+def test_interpolation_dtype_promotion(rng):
+    # float64 checksums over a float32 domain stay float64.
+    spec = jacobi4()
+    u = rng.random((8, 8)).astype(np.float32)
+    bspec = BoundarySpec.clamp(2)
+    cs64 = checksum(u, 0, dtype=np.float64)
+    padded = pad_array(u, spec.radius(), bspec)
+    predicted = interpolate_checksum_padded(
+        cs64, padded, spec, spec.radius(), u.shape, 0
+    )
+    assert predicted.dtype == np.float64
+
+
+class TestReducedInterpolation:
+    """The checksum-only (offline) interpolation path."""
+
+    @pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+    @pytest.mark.parametrize("axis", [0, 1], ids=["column_b", "row_a"])
+    def test_exact_with_strips(self, rng, bc, axis):
+        spec = asymmetric_advection_2d(0.3, 0.2)
+        u = rng.random((10, 8))
+        bspec = BoundarySpec.uniform(bc, 2)
+        u_new = sweep(u, spec, bspec)
+        padded = pad_array(u, spec.radius(), bspec)
+        strips = extract_delta_strips(padded, spec, spec.radius(), u.shape, axis)
+        predicted = interpolate_checksum_reduced(
+            checksum(u, axis), spec, bspec, axis, u.shape[axis], deltas=strips
+        )
+        np.testing.assert_allclose(predicted, checksum(u_new, axis), rtol=1e-10)
+
+    def test_simplified_exact_for_symmetric_clamp(self, rng):
+        # Eqs. (8)-(9): without strips the prediction is exact when the
+        # stencil is mirror-symmetric along the reduced axis (clamp BC).
+        spec = jacobi4()
+        u = rng.random((10, 10))
+        bspec = BoundarySpec.clamp(2)
+        u_new = sweep(u, spec, bspec)
+        predicted = interpolate_checksum_reduced(
+            checksum(u, 0), spec, bspec, 0, u.shape[0], deltas=None
+        )
+        np.testing.assert_allclose(predicted, checksum(u_new, 0), rtol=1e-10)
+
+    def test_simplified_exact_for_periodic(self, rng):
+        spec = asymmetric_advection_2d(0.3, 0.2)
+        u = rng.random((9, 9))
+        bspec = BoundarySpec.periodic(2)
+        u_new = sweep(u, spec, bspec)
+        predicted = interpolate_checksum_reduced(
+            checksum(u, 1), spec, bspec, 1, u.shape[1], deltas=None
+        )
+        np.testing.assert_allclose(predicted, checksum(u_new, 1), rtol=1e-10)
+
+    def test_simplified_inexact_for_asymmetric_clamp(self, rng):
+        # The paper's simplified form drops the α/β terms; for an
+        # asymmetric stencil with clamp boundaries that is measurably wrong
+        # — which is why the exact strip-based form exists.
+        spec = asymmetric_advection_2d(0.3, 0.2)
+        u = rng.random((10, 10)) + 1.0
+        bspec = BoundarySpec.clamp(2)
+        u_new = sweep(u, spec, bspec)
+        predicted = interpolate_checksum_reduced(
+            checksum(u, 0), spec, bspec, 0, u.shape[0], deltas=None
+        )
+        rel = np.abs(predicted / checksum(u_new, 0) - 1.0)
+        assert rel.max() > 1e-5
+
+    def test_strips_iterated_over_multiple_steps(self, rng):
+        # Replaying the interpolation over a window of steps (the offline
+        # detector's job) stays exact when strips are recorded per step.
+        spec = asymmetric_advection_2d(0.25, 0.15)
+        bspec = BoundarySpec.clamp(2)
+        u = rng.random((9, 7))
+        cs = checksum(u, 0)
+        for _ in range(5):
+            padded = pad_array(u, spec.radius(), bspec)
+            strips = extract_delta_strips(padded, spec, spec.radius(), u.shape, 0)
+            u = sweep(u, spec, bspec)
+            cs = interpolate_checksum_reduced(
+                cs, spec, bspec, 0, u.shape[0], deltas=strips
+            )
+        np.testing.assert_allclose(cs, checksum(u, 0), rtol=1e-9)
+
+    def test_delta_strip_shape_validation(self, rng):
+        spec = jacobi4()
+        bspec = BoundarySpec.clamp(2)
+        with pytest.raises(ValueError, match="delta strip"):
+            interpolate_checksum_reduced(
+                np.zeros(6), spec, bspec, 0, 6, deltas={1: np.zeros(3)}
+            )
+
+    def test_boundary_dimension_validation(self, rng):
+        spec = jacobi4()
+        with pytest.raises(ValueError, match="boundary has"):
+            interpolate_checksum_reduced(
+                np.zeros(6), spec, BoundarySpec.clamp(3), 0, 6
+            )
+
+
+class TestExtractDeltaStrips:
+    def test_symmetric_stencil_offsets(self, rng):
+        spec = jacobi4()
+        u = rng.random((6, 6))
+        padded = pad_array(u, spec.radius(), BoundarySpec.clamp(2))
+        strips = extract_delta_strips(padded, spec, spec.radius(), u.shape, 0)
+        assert set(strips) == {-1, 1}
+        assert strips[1].shape == (6,)
+
+    def test_no_strips_for_zero_offsets(self, rng):
+        from repro.stencil.spec import StencilSpec
+
+        spec = StencilSpec.from_dict({(0, 0): 1.0, (0, 1): 0.5})
+        u = rng.random((5, 5))
+        padded = pad_array(u, spec.radius(), BoundarySpec.clamp(2))
+        strips = extract_delta_strips(padded, spec, spec.radius(), u.shape, 0)
+        assert strips == {}
+
+
+class TestReducedBoundary:
+    def test_constant_scaled_by_reduction_length(self):
+        bspec = BoundarySpec.uniform(BoundaryCondition.constant(2.0), 2)
+        reduced = reduced_boundary(bspec, 0, 10)
+        assert reduced.ndim == 1
+        assert reduced.axis(0).is_constant
+        assert reduced.axis(0).value == pytest.approx(20.0)
+
+    def test_constant_zeroed_for_strips(self):
+        bspec = BoundarySpec.uniform(BoundaryCondition.constant(2.0), 2)
+        reduced = reduced_boundary(bspec, 0, 10, zero_constant=True)
+        assert reduced.axis(0).is_zero
+
+    def test_other_kinds_preserved(self):
+        bspec = BoundarySpec(
+            (BoundaryCondition.periodic(), BoundaryCondition.clamp())
+        )
+        reduced = reduced_boundary(bspec, 0, 4)
+        assert reduced.axis(0).is_clamp

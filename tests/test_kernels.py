@@ -1,0 +1,81 @@
+"""Unit tests for the named stencil library."""
+
+import pytest
+
+from repro.stencil import kernels
+from repro.stencil.spec import StencilSpec
+
+
+def test_jacobi4_shape():
+    spec = kernels.jacobi4()
+    assert spec.npoints == 4
+    assert spec.weight_sum() == pytest.approx(1.0)
+    assert spec.weight_of((0, 0)) == 0.0
+
+
+def test_five_point_diffusion_weights():
+    spec = kernels.five_point_diffusion(0.25)
+    assert spec.weight_of((0, 0)) == pytest.approx(0.0)
+    assert spec.weight_sum() == pytest.approx(1.0)
+
+
+def test_five_point_diffusion_rejects_unstable_alpha():
+    with pytest.raises(ValueError):
+        kernels.five_point_diffusion(0.3)
+    with pytest.raises(ValueError):
+        kernels.five_point_diffusion(0.0)
+
+
+def test_nine_point_smoothing_normalised():
+    spec = kernels.nine_point_smoothing()
+    assert spec.npoints == 9
+    assert spec.weight_sum() == pytest.approx(1.0)
+    assert spec.is_fully_symmetric()
+
+
+def test_asymmetric_advection_2d_is_asymmetric():
+    spec = kernels.asymmetric_advection_2d(0.2, 0.1)
+    assert not spec.is_axis_symmetric(0)
+    assert not spec.is_axis_symmetric(1)
+    assert spec.weight_sum() == pytest.approx(1.0)
+
+
+def test_seven_point_diffusion_3d():
+    spec = kernels.seven_point_diffusion_3d(0.1)
+    assert spec.ndim == 3
+    assert spec.npoints == 7
+    assert spec.is_fully_symmetric()
+
+
+def test_seven_point_diffusion_3d_rejects_unstable_alpha():
+    with pytest.raises(ValueError):
+        kernels.seven_point_diffusion_3d(0.2)
+
+
+def test_twenty_seven_point_3d():
+    spec = kernels.twenty_seven_point_3d()
+    assert spec.npoints == 27
+    assert spec.weight_sum() == pytest.approx(1.0)
+    assert spec.radius() == (1, 1, 1)
+
+
+def test_asymmetric_advection_3d():
+    spec = kernels.asymmetric_advection_3d()
+    assert spec.ndim == 3
+    assert not spec.is_fully_symmetric()
+
+
+def test_named_stencil_lookup():
+    spec = kernels.named_stencil("jacobi4")
+    assert isinstance(spec, StencilSpec)
+    assert spec == kernels.jacobi4()
+
+
+def test_named_stencil_with_kwargs():
+    spec = kernels.named_stencil("five_point_diffusion", alpha=0.1)
+    assert spec.weight_of((0, 0)) == pytest.approx(0.6)
+
+
+def test_named_stencil_unknown_name():
+    with pytest.raises(KeyError, match="unknown stencil"):
+        kernels.named_stencil("does-not-exist")

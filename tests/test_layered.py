@@ -1,0 +1,48 @@
+"""Unit tests for per-layer helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.checksums import column_checksum, row_checksum
+from repro.core.layered import (
+    group_locations_by_layer,
+    layer_checksums,
+    layer_view,
+    split_checksum_by_layer,
+)
+
+
+def test_layer_view(rng):
+    u = rng.random((5, 4, 3))
+    np.testing.assert_array_equal(layer_view(u, 1), u[:, :, 1])
+
+
+def test_layer_view_rejects_2d(rng):
+    with pytest.raises(ValueError):
+        layer_view(rng.random((4, 4)), 0)
+
+
+def test_layer_checksums_match_2d_checksums(rng):
+    u = rng.random((6, 5, 4))
+    a, b = layer_checksums(u, 2)
+    np.testing.assert_allclose(a, row_checksum(u[:, :, 2]))
+    np.testing.assert_allclose(b, column_checksum(u[:, :, 2]))
+
+
+def test_split_checksum_by_layer(rng):
+    u = rng.random((6, 5, 3))
+    layered = column_checksum(u)  # shape (5, 3)
+    parts = split_checksum_by_layer(layered)
+    assert len(parts) == 3
+    for z, part in enumerate(parts):
+        np.testing.assert_allclose(part, column_checksum(u[:, :, z]))
+
+
+def test_split_checksum_rejects_1d(rng):
+    with pytest.raises(ValueError):
+        split_checksum_by_layer(rng.random(5))
+
+
+def test_group_locations_by_layer():
+    grouped = group_locations_by_layer([(1, 2, 0), (3, 4, 2), (5, 6, 0)])
+    assert grouped == {0: [(1, 2), (5, 6)], 2: [(3, 4)]}

@@ -1,0 +1,144 @@
+"""Unit tests for accuracy, timing and statistics metrics."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import l2_error, max_abs_error, relative_l2_error
+from repro.metrics.statistics import geometric_mean, quartile_summary, summarize
+from repro.metrics.timing import Timer, overhead_percent, time_callable
+
+
+class TestAccuracy:
+    def test_l2_error_zero_for_identical(self, rng):
+        u = rng.random((5, 5))
+        assert l2_error(u, u) == 0.0
+
+    def test_l2_error_matches_manual_computation(self):
+        ref = np.array([1.0, 2.0, 3.0])
+        comp = np.array([1.0, 2.0, 5.0])
+        assert l2_error(ref, comp) == pytest.approx(2.0)
+
+    def test_l2_error_matches_paper_equation(self, rng):
+        ref = rng.random((4, 4, 2))
+        comp = rng.random((4, 4, 2))
+        expected = math.sqrt(((ref - comp) ** 2).sum())
+        assert l2_error(ref, comp) == pytest.approx(expected)
+
+    def test_l2_error_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            l2_error(rng.random(3), rng.random(4))
+
+    def test_relative_l2_error(self):
+        ref = np.array([3.0, 4.0])  # norm 5
+        comp = np.array([3.0, 4.5])
+        assert relative_l2_error(ref, comp) == pytest.approx(0.1)
+
+    def test_relative_l2_error_zero_reference(self):
+        assert relative_l2_error(np.zeros(3), np.ones(3)) == pytest.approx(math.sqrt(3))
+
+    def test_max_abs_error(self):
+        ref = np.array([[1.0, 2.0], [3.0, 4.0]])
+        comp = np.array([[1.0, 2.5], [3.0, 3.0]])
+        assert max_abs_error(ref, comp) == pytest.approx(1.0)
+
+    def test_max_abs_error_empty(self):
+        assert max_abs_error(np.empty(0), np.empty(0)) == 0.0
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.02
+        assert len(timer.intervals) == 2
+
+    def test_start_stop(self):
+        timer = Timer()
+        timer.start()
+        assert timer.running
+        interval = timer.stop()
+        assert interval >= 0.0
+        assert not timer.running
+
+    def test_double_start_rejected(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.intervals == []
+
+    def test_time_callable(self):
+        elapsed, result = time_callable(lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        assert elapsed >= 0.0
+
+
+class TestOverhead:
+    def test_overhead_percent(self):
+        assert overhead_percent(1.08, 1.0) == pytest.approx(8.0)
+        assert overhead_percent(0.9, 1.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            overhead_percent(1.0, 0.0)
+
+
+class TestStatistics:
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_summarize_single_sample_has_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_summarize_empty_is_nan(self):
+        stats = summarize([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+
+    def test_summary_as_dict(self):
+        d = summarize([1.0, 3.0]).as_dict()
+        assert set(d) == {"count", "mean", "median", "min", "max", "std"}
+
+    def test_quartile_summary(self):
+        box = quartile_summary(list(range(1, 101)))
+        assert box["median"] == pytest.approx(50.5)
+        assert box["q1"] == pytest.approx(25.75)
+        assert box["q3"] == pytest.approx(75.25)
+        assert box["whisker_low"] < box["q1"]
+        assert box["whisker_high"] > box["q3"]
+
+    def test_quartile_summary_empty(self):
+        box = quartile_summary([])
+        assert all(math.isnan(v) for v in box.values())
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_geometric_mean_with_zero_uses_floor(self):
+        value = geometric_mean([0.0, 1.0], floor=1e-10)
+        assert value == pytest.approx(1e-5)
+
+    def test_geometric_mean_empty(self):
+        assert math.isnan(geometric_mean([]))

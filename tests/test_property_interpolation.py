@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the core ABFT invariants.
+
+The key theorem of the paper — the interpolated checksum equals the
+directly computed checksum of the next step — must hold for *arbitrary*
+stencils, weights, boundary conditions and domain contents. Hypothesis
+generates those arbitrary instances.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checksums import checksum
+from repro.core.correction import correct_errors, match_detections
+from repro.core.detection import detect_errors
+from repro.core.interpolation import (
+    extract_delta_strips,
+    interpolate_checksum,
+    interpolate_checksum_reduced,
+)
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.shift import pad_array
+from repro.stencil.spec import StencilSpec
+from repro.stencil.sweep import sweep
+
+
+# --------------------------------------------------------------------------
+# strategies
+# --------------------------------------------------------------------------
+
+def boundary_conditions():
+    return st.sampled_from(
+        [
+            BoundaryCondition.clamp(),
+            BoundaryCondition.periodic(),
+            BoundaryCondition.zero(),
+            BoundaryCondition.constant(1.75),
+        ]
+    )
+
+
+@st.composite
+def stencil_specs_2d(draw, max_radius=2):
+    """Arbitrary 2D stencils: random offsets within the radius, random weights."""
+    radius = draw(st.integers(1, max_radius))
+    offsets = st.tuples(
+        st.integers(-radius, radius), st.integers(-radius, radius)
+    )
+    points = draw(
+        st.dictionaries(
+            offsets,
+            st.floats(-1.0, 1.0, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=7,
+        )
+    )
+    return StencilSpec.from_dict(points)
+
+
+@st.composite
+def domains_2d(draw, min_side=3, max_side=12):
+    nx = draw(st.integers(min_side, max_side))
+    ny = draw(st.integers(min_side, max_side))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-10.0, 10.0, size=(nx, ny))
+
+
+# --------------------------------------------------------------------------
+# properties
+# --------------------------------------------------------------------------
+
+@given(domain=domains_2d(), spec=stencil_specs_2d(), bc=boundary_conditions(),
+       axis=st.sampled_from([0, 1]))
+@settings(max_examples=60)
+def test_interpolated_checksum_equals_direct_checksum(domain, spec, bc, axis):
+    """Theorem 1 holds for arbitrary stencils, domains and boundaries."""
+    bspec = BoundarySpec.uniform(bc, 2)
+    new_domain = sweep(domain, spec, bspec)
+    predicted = interpolate_checksum(checksum(domain, axis), domain, spec, bspec, axis)
+    direct = checksum(new_domain, axis)
+    np.testing.assert_allclose(predicted, direct, rtol=1e-9, atol=1e-9)
+
+
+@given(domain=domains_2d(), spec=stencil_specs_2d(max_radius=1),
+       bc=boundary_conditions(), axis=st.sampled_from([0, 1]))
+@settings(max_examples=40)
+def test_strip_based_interpolation_equals_padded_interpolation(domain, spec, bc, axis):
+    """The offline (strip-replay) path agrees with the exact online path."""
+    bspec = BoundarySpec.uniform(bc, 2)
+    new_domain = sweep(domain, spec, bspec)
+    padded = pad_array(domain, spec.radius(), bspec)
+    strips = extract_delta_strips(padded, spec, spec.radius(), domain.shape, axis)
+    predicted = interpolate_checksum_reduced(
+        checksum(domain, axis), spec, bspec, axis, domain.shape[axis], deltas=strips
+    )
+    np.testing.assert_allclose(predicted, checksum(new_domain, axis),
+                               rtol=1e-9, atol=1e-9)
+
+
+@given(domain=domains_2d(min_side=4), spec=stencil_specs_2d(max_radius=1),
+       bc=boundary_conditions(),
+       corruption=st.floats(1.0, 1e6, allow_nan=False),
+       seed=st.integers(0, 2**16))
+@settings(max_examples=40)
+def test_single_corruption_always_detected_and_localised(
+    domain, spec, bc, corruption, seed
+):
+    """Any single additive corruption above the threshold is detected at the
+    exact location and corrected back to the true value."""
+    bspec = BoundarySpec.uniform(bc, 2)
+    rng = np.random.default_rng(seed)
+    new_domain = sweep(domain, spec, bspec)
+    truth = new_domain.copy()
+
+    x = int(rng.integers(0, domain.shape[0]))
+    y = int(rng.integers(0, domain.shape[1]))
+    new_domain[x, y] += corruption
+
+    a_interp = interpolate_checksum(checksum(domain, 1), domain, spec, bspec, 1)
+    b_interp = interpolate_checksum(checksum(domain, 0), domain, spec, bspec, 0)
+    a_comp = checksum(new_domain, 1)
+    b_comp = checksum(new_domain, 0)
+    det_a = detect_errors(a_comp, a_interp, 1e-9)
+    det_b = detect_errors(b_comp, b_interp, 1e-9)
+
+    assert det_a.detected and det_b.detected
+    locations, unresolved = match_detections(
+        det_a, det_b, a_comp, a_interp, b_comp, b_interp, 2
+    )
+    assert unresolved == 0
+    assert locations == [(x, y)]
+
+    correct_errors(new_domain, locations, a_comp, a_interp, b_comp, b_interp)
+    np.testing.assert_allclose(new_domain, truth, rtol=1e-6, atol=1e-6)
+
+
+@given(domain=domains_2d(), spec=stencil_specs_2d(), bc=boundary_conditions(),
+       axis=st.sampled_from([0, 1]))
+@settings(max_examples=40)
+def test_clean_step_never_flags_errors_in_float64(domain, spec, bc, axis):
+    """No false positives: a clean sweep passes detection at a tight threshold."""
+    bspec = BoundarySpec.uniform(bc, 2)
+    new_domain = sweep(domain, spec, bspec)
+    predicted = interpolate_checksum(checksum(domain, axis), domain, spec, bspec, axis)
+    direct = checksum(new_domain, axis)
+    result = detect_errors(direct, predicted, 1e-7)
+    assert not result.detected

@@ -1,0 +1,147 @@
+"""Unit tests for ghost-cell padding and shifted views."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.shift import (
+    interior_slices,
+    interior_view,
+    normalize_radius,
+    pad_array,
+    shifted_view,
+)
+
+
+class TestNormalizeRadius:
+    def test_scalar(self):
+        assert normalize_radius(2, 3) == (2, 2, 2)
+
+    def test_sequence(self):
+        assert normalize_radius((1, 2), 2) == (1, 2)
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            normalize_radius((1, 2, 3), 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_radius(-1, 2)
+
+
+class TestPadArray:
+    def test_clamp_replicates_edges(self):
+        u = np.array([[1.0, 2.0], [3.0, 4.0]])
+        padded = pad_array(u, 1, BoundaryCondition.clamp())
+        assert padded.shape == (4, 4)
+        assert padded[0, 1] == 1.0  # above row 0, column 0
+        assert padded[3, 2] == 4.0
+        assert padded[0, 0] == 1.0  # corner: clamp of clamp
+
+    def test_periodic_wraps(self):
+        u = np.arange(6, dtype=float).reshape(2, 3)
+        padded = pad_array(u, 1, BoundaryCondition.periodic())
+        # ghost row above row 0 is the last row
+        np.testing.assert_array_equal(padded[0, 1:-1], u[-1])
+        # ghost column left of column 0 is the last column
+        np.testing.assert_array_equal(padded[1:-1, 0], u[:, -1])
+
+    def test_zero_fills_zero(self):
+        u = np.ones((3, 3))
+        padded = pad_array(u, 2, BoundaryCondition.zero())
+        assert padded.shape == (7, 7)
+        assert padded[0, 0] == 0.0
+        assert padded[:2].sum() == 0.0
+
+    def test_constant_fills_value(self):
+        u = np.ones((3, 3))
+        padded = pad_array(u, 1, BoundaryCondition.constant(7.5))
+        assert padded[0, 2] == 7.5
+        assert padded[4, 4] == 7.5
+
+    def test_per_axis_radius_and_conditions(self):
+        u = np.arange(12, dtype=float).reshape(3, 4)
+        spec = BoundarySpec(
+            (BoundaryCondition.zero(), BoundaryCondition.clamp())
+        )
+        padded = pad_array(u, (1, 2), spec)
+        assert padded.shape == (5, 8)
+        # zero ghost along axis 0
+        assert padded[0, 3] == 0.0
+        # clamp ghost along axis 1 replicates the first column
+        assert padded[1, 0] == u[0, 0]
+        assert padded[1, 1] == u[0, 0]
+
+    def test_zero_radius_returns_copy(self):
+        u = np.ones((2, 2))
+        padded = pad_array(u, 0, BoundaryCondition.clamp())
+        assert padded.shape == u.shape
+        padded[0, 0] = 99.0
+        assert u[0, 0] == 1.0  # not a view
+
+    def test_interior_preserved(self):
+        u = np.random.default_rng(0).random((5, 6))
+        padded = pad_array(u, 2, BoundaryCondition.constant(-1.0))
+        np.testing.assert_array_equal(padded[2:-2, 2:-2], u)
+
+    def test_3d_padding(self):
+        u = np.arange(24, dtype=float).reshape(2, 3, 4)
+        padded = pad_array(u, 1, BoundaryCondition.clamp())
+        assert padded.shape == (4, 5, 6)
+        np.testing.assert_array_equal(padded[1:-1, 1:-1, 1:-1], u)
+
+
+class TestInteriorHelpers:
+    def test_interior_slices(self):
+        assert interior_slices((1, 2), 2) == (slice(1, -1), slice(2, -2))
+
+    def test_interior_slices_zero_radius(self):
+        assert interior_slices((0, 1), 2) == (slice(0, None), slice(1, -1))
+
+    def test_interior_view_round_trip(self):
+        u = np.random.default_rng(1).random((4, 5))
+        padded = pad_array(u, 1, BoundaryCondition.zero())
+        np.testing.assert_array_equal(interior_view(padded, 1), u)
+
+
+class TestShiftedView:
+    def test_zero_offset_is_interior(self):
+        u = np.random.default_rng(2).random((4, 4))
+        padded = pad_array(u, 1, BoundaryCondition.clamp())
+        np.testing.assert_array_equal(
+            shifted_view(padded, (0, 0), 1, u.shape), u
+        )
+
+    def test_positive_offset_clamp(self):
+        u = np.arange(9, dtype=float).reshape(3, 3)
+        padded = pad_array(u, 1, BoundaryCondition.clamp())
+        east = shifted_view(padded, (1, 0), 1, u.shape)
+        # east[x, y] == u[min(x+1, 2), y]
+        expected = u[np.minimum(np.arange(3) + 1, 2), :]
+        np.testing.assert_array_equal(east, expected)
+
+    def test_negative_offset_periodic(self):
+        u = np.arange(9, dtype=float).reshape(3, 3)
+        padded = pad_array(u, 1, BoundaryCondition.periodic())
+        west = shifted_view(padded, (-1, 0), 1, u.shape)
+        expected = u[(np.arange(3) - 1) % 3, :]
+        np.testing.assert_array_equal(west, expected)
+
+    def test_offset_exceeding_radius_rejected(self):
+        u = np.ones((3, 3))
+        padded = pad_array(u, 1, BoundaryCondition.clamp())
+        with pytest.raises(ValueError, match="exceeds ghost radius"):
+            shifted_view(padded, (2, 0), 1, u.shape)
+
+    def test_offset_dimension_mismatch_rejected(self):
+        u = np.ones((3, 3))
+        padded = pad_array(u, 1, BoundaryCondition.clamp())
+        with pytest.raises(ValueError, match="components"):
+            shifted_view(padded, (1, 0, 0), 1, u.shape)
+
+    def test_view_not_copy(self):
+        u = np.zeros((3, 3))
+        padded = pad_array(u, 1, BoundaryCondition.clamp())
+        view = shifted_view(padded, (0, 1), 1, u.shape)
+        padded[1, 2] = 42.0
+        assert view[0, 0] == 42.0

@@ -1,0 +1,142 @@
+"""Tests for the simulated message-passing (distributed-memory) runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.protector import NoProtection
+from repro.metrics.accuracy import l2_error
+from repro.parallel.simmpi import DistributedStencilRunner, SimChannel
+from repro.stencil.boundary import BoundaryCondition
+from repro.stencil.grid import Grid2D, Grid3D
+from repro.stencil.kernels import (
+    asymmetric_advection_2d,
+    five_point_diffusion,
+    seven_point_diffusion_3d,
+)
+
+
+def _grid_2d(rng, shape=(24, 18), bc=None, spec=None):
+    spec = spec or five_point_diffusion(0.2)
+    bc = bc or BoundaryCondition.clamp()
+    u0 = (rng.random(shape) * 100).astype(np.float32)
+    return Grid2D(u0, spec, bc)
+
+
+class TestSimChannel:
+    def test_send_recv_fifo(self):
+        channel = SimChannel()
+        channel.send(0, 1, "halo", np.array([1.0, 2.0]))
+        channel.send(0, 1, "halo", np.array([3.0]))
+        np.testing.assert_array_equal(channel.recv(0, 1, "halo"), [1.0, 2.0])
+        np.testing.assert_array_equal(channel.recv(0, 1, "halo"), [3.0])
+        assert channel.pending() == 0
+
+    def test_payload_copied_on_send(self):
+        channel = SimChannel()
+        payload = np.array([1.0, 2.0])
+        channel.send(0, 1, "x", payload)
+        payload[0] = 99.0
+        np.testing.assert_array_equal(channel.recv(0, 1, "x"), [1.0, 2.0])
+
+    def test_missing_message_raises(self):
+        with pytest.raises(RuntimeError, match="no message"):
+            SimChannel().recv(0, 1, "halo")
+
+    def test_traffic_counters(self):
+        channel = SimChannel()
+        channel.send(0, 1, "a", np.zeros(4, dtype=np.float64))
+        assert channel.messages_sent == 1
+        assert channel.bytes_sent == 32
+
+
+class TestDistributedEquivalence:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 4])
+    def test_distributed_run_bitwise_equals_single_grid(self, rng, n_ranks):
+        grid = _grid_2d(rng)
+        single = grid.copy()
+        runner = DistributedStencilRunner(grid, n_ranks=n_ranks, protect=False)
+        runner.run(8)
+        NoProtection().run(single, 8)
+        np.testing.assert_array_equal(runner.gather(), single.u)
+
+    def test_periodic_boundary_wraps_between_first_and_last_rank(self, rng):
+        grid = _grid_2d(rng, bc=BoundaryCondition.periodic())
+        single = grid.copy()
+        runner = DistributedStencilRunner(grid, n_ranks=3, protect=False)
+        runner.run(6)
+        NoProtection().run(single, 6)
+        np.testing.assert_array_equal(runner.gather(), single.u)
+
+    def test_asymmetric_stencil_equivalence(self, rng):
+        grid = _grid_2d(rng, spec=asymmetric_advection_2d(0.25, 0.15))
+        single = grid.copy()
+        runner = DistributedStencilRunner(grid, n_ranks=4, protect=False)
+        runner.run(5)
+        NoProtection().run(single, 5)
+        np.testing.assert_array_equal(runner.gather(), single.u)
+
+    def test_3d_domain_with_constant_term(self, rng):
+        u0 = (rng.random((16, 10, 4)) * 50).astype(np.float32)
+        constant = (rng.random((16, 10, 4)) * 0.2).astype(np.float32)
+        grid = Grid3D(u0, seven_point_diffusion_3d(0.1), BoundaryCondition.clamp(),
+                      constant=constant)
+        single = grid.copy()
+        runner = DistributedStencilRunner(grid, n_ranks=4, protect=False)
+        runner.run(6)
+        NoProtection().run(single, 6)
+        np.testing.assert_array_equal(runner.gather(), single.u)
+
+    def test_halo_messages_flow_every_iteration(self, rng):
+        grid = _grid_2d(rng)
+        runner = DistributedStencilRunner(grid, n_ranks=4, protect=False)
+        runner.run(3)
+        # 4 ranks in a line: 3 interfaces x 2 directions x 3 iterations.
+        assert runner.channel.messages_sent == 18
+        assert runner.channel.pending() == 0
+
+    def test_invalid_rank_count(self, rng):
+        with pytest.raises(ValueError):
+            DistributedStencilRunner(_grid_2d(rng), n_ranks=0)
+
+
+class TestDistributedProtection:
+    def test_error_free_no_detection(self, rng):
+        grid = _grid_2d(rng)
+        runner = DistributedStencilRunner(grid, n_ranks=3, protect=True, epsilon=1e-5)
+        runner.run(10)
+        assert runner.total_detected() == 0
+
+    def test_rank_local_detection_and_correction(self, rng):
+        grid = _grid_2d(rng)
+        reference = grid.copy()
+        reference.run(10)
+
+        target_global = (15, 7)
+        runner = DistributedStencilRunner(grid, n_ranks=3, protect=True, epsilon=1e-5)
+        target_rank, target_local = runner.rank_of_global_index(target_global)
+
+        def inject(run, iteration, rank):
+            from repro.faults.bitflip import flip_bit_in_array
+
+            if iteration == 4 and rank.rank == target_rank:
+                flip_bit_in_array(rank.interior, target_local, 26)
+
+        runner.run(10, inject=inject)
+        assert runner.total_detected() >= 1
+        assert runner.total_corrected() >= 1
+        # Only the struck rank's protector fired.
+        for r in runner.ranks:
+            if r.rank == target_rank:
+                assert r.protector.total_detections >= 1
+            else:
+                assert r.protector.total_detections == 0
+        assert l2_error(reference.u, runner.gather()) < 1.0
+
+    def test_rank_of_global_index(self, rng):
+        grid = _grid_2d(rng, shape=(10, 6))
+        runner = DistributedStencilRunner(grid, n_ranks=2, protect=False)
+        rank, local = runner.rank_of_global_index((7, 3))
+        assert rank == 1
+        assert local == (2, 3)
+        with pytest.raises(ValueError):
+            runner.rank_of_global_index((99, 0))

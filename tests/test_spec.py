@@ -1,0 +1,134 @@
+"""Unit tests for stencil specifications."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.spec import StencilPoint, StencilSpec
+
+
+class TestStencilPoint:
+    def test_basic_construction(self):
+        p = StencilPoint((0, 1), 0.25)
+        assert p.offset == (0, 1)
+        assert p.weight == 0.25
+        assert p.ndim == 2
+
+    def test_coercion_to_int_and_float(self):
+        p = StencilPoint((np.int64(1), np.int64(-1)), np.float32(0.5))
+        assert p.offset == (1, -1)
+        assert isinstance(p.offset[0], int)
+        assert isinstance(p.weight, float)
+
+    def test_invalid_dimensionality(self):
+        with pytest.raises(ValueError):
+            StencilPoint((1, 2, 3, 4), 1.0)
+
+
+class TestStencilSpecConstruction:
+    def test_from_pairs(self):
+        spec = StencilSpec([((0, 0), 0.5), ((1, 0), 0.5)])
+        assert spec.npoints == 2
+        assert spec.ndim == 2
+
+    def test_from_dict(self):
+        spec = StencilSpec.from_dict({(0, 0): 1.0, (0, 1): -1.0})
+        assert spec.weight_of((0, 1)) == -1.0
+
+    def test_duplicate_offsets_are_merged(self):
+        spec = StencilSpec([((0, 0), 0.25), ((0, 0), 0.25)])
+        assert spec.npoints == 1
+        assert spec.weight_of((0, 0)) == 0.5
+
+    def test_mixed_dimensionality_rejected(self):
+        with pytest.raises(ValueError, match="same dimensionality"):
+            StencilSpec([((0, 0), 1.0), ((0, 0, 0), 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            StencilSpec([])
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2D and 3D"):
+            StencilSpec([((1,), 1.0)])
+
+    def test_five_point(self):
+        spec = StencilSpec.five_point(0.6, 0.1, 0.1, 0.1, 0.1)
+        assert spec.npoints == 5
+        assert spec.weight_of((0, 0)) == pytest.approx(0.6)
+        assert spec.weight_of((-1, 0)) == pytest.approx(0.1)
+
+    def test_four_point_average(self):
+        spec = StencilSpec.four_point_average()
+        assert spec.npoints == 4
+        assert spec.weight_sum() == pytest.approx(1.0)
+        assert spec.weight_of((0, 0)) == 0.0
+
+    def test_nine_point_requires_nine_weights(self):
+        with pytest.raises(ValueError):
+            StencilSpec.nine_point([1.0] * 8)
+
+    def test_seven_point_3d(self):
+        spec = StencilSpec.seven_point_3d(0.4, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1)
+        assert spec.ndim == 3
+        assert spec.npoints == 7
+        assert spec.weight_of((0, 0, 1)) == pytest.approx(0.1)
+
+
+class TestStencilSpecProperties:
+    def test_radius(self):
+        spec = StencilSpec.from_dict({(0, 0): 1.0, (-2, 0): 0.5, (0, 1): 0.5})
+        assert spec.radius() == (2, 1)
+        assert spec.max_radius() == 2
+
+    def test_weight_sums(self):
+        spec = StencilSpec.from_dict({(0, 0): -0.5, (1, 0): 0.75})
+        assert spec.weight_sum() == pytest.approx(0.25)
+        assert spec.abs_weight_sum() == pytest.approx(1.25)
+
+    def test_axis_symmetry_symmetric(self):
+        spec = StencilSpec.four_point_average()
+        assert spec.is_axis_symmetric(0)
+        assert spec.is_axis_symmetric(1)
+        assert spec.is_fully_symmetric()
+
+    def test_axis_symmetry_asymmetric(self):
+        spec = StencilSpec.from_dict({(0, 0): 0.7, (-1, 0): 0.3})
+        assert not spec.is_axis_symmetric(0)
+        assert spec.is_axis_symmetric(1)
+        assert not spec.is_fully_symmetric()
+
+    def test_scaled(self):
+        spec = StencilSpec.four_point_average().scaled(2.0)
+        assert spec.weight_of((0, 1)) == pytest.approx(0.5)
+
+    def test_points_round_trip(self):
+        spec = StencilSpec.five_point(0.2, 0.2, 0.2, 0.2, 0.2)
+        rebuilt = StencilSpec(spec.points())
+        assert rebuilt == spec
+
+    def test_iteration_yields_sorted_offsets(self):
+        spec = StencilSpec.from_dict({(1, 0): 1.0, (-1, 0): 2.0, (0, 0): 3.0})
+        offsets = [o for o, _ in spec]
+        assert offsets == sorted(offsets)
+
+    def test_weight_of_missing_offset(self):
+        spec = StencilSpec.four_point_average()
+        assert spec.weight_of((5, 5)) == 0.0
+
+    def test_equality_and_hash(self):
+        a = StencilSpec.four_point_average()
+        b = StencilSpec.four_point_average()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != StencilSpec.from_dict({(0, 0): 1.0})
+
+    def test_len_and_repr(self):
+        spec = StencilSpec.four_point_average()
+        assert len(spec) == 4
+        assert "StencilSpec" in repr(spec)
+
+    def test_offsets_and_weights_arrays(self):
+        spec = StencilSpec.five_point(0.6, 0.1, 0.1, 0.1, 0.1)
+        assert spec.offsets.shape == (5, 2)
+        assert spec.weights.shape == (5,)
+        assert spec.offsets.dtype == np.int64

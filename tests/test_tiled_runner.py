@@ -1,0 +1,150 @@
+"""Tests for the shared-memory tiled runner with per-tile ABFT."""
+
+import numpy as np
+import pytest
+
+from repro.core.protector import NoProtection
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.metrics.accuracy import l2_error
+from repro.parallel.executor import ThreadPoolTileExecutor
+from repro.parallel.runner import TiledStencilRunner
+from repro.stencil.boundary import BoundaryCondition
+from repro.stencil.grid import Grid2D, Grid3D
+from repro.stencil.kernels import (
+    asymmetric_advection_2d,
+    five_point_diffusion,
+    seven_point_diffusion_3d,
+)
+
+
+def _grid_2d(rng, shape=(24, 20), spec=None, bc=None):
+    spec = spec or five_point_diffusion(0.2)
+    bc = bc or BoundaryCondition.clamp()
+    u0 = (rng.random(shape) * 100).astype(np.float32)
+    return Grid2D(u0, spec, bc)
+
+
+def _grid_3d(rng, shape=(12, 12, 4)):
+    u0 = (rng.random(shape) * 100).astype(np.float32)
+    constant = (rng.random(shape) * 0.1).astype(np.float32)
+    return Grid3D(u0, seven_point_diffusion_3d(0.1), BoundaryCondition.clamp(),
+                  constant=constant)
+
+
+class TestTiledSweepEquivalence:
+    @pytest.mark.parametrize("parts", [(1, 1), (2, 2), (3, 2), (4, 1)])
+    def test_tiled_run_bitwise_equals_single_grid_run(self, rng, parts):
+        grid_tiled = _grid_2d(rng)
+        grid_single = grid_tiled.copy()
+        runner = TiledStencilRunner(grid_tiled, parts)
+        runner.run(10)
+        NoProtection().run(grid_single, 10)
+        np.testing.assert_array_equal(grid_tiled.u, grid_single.u)
+
+    @pytest.mark.parametrize(
+        "bc", [BoundaryCondition.periodic(), BoundaryCondition.zero(),
+               BoundaryCondition.constant(5.0)],
+        ids=["periodic", "zero", "constant"],
+    )
+    def test_equivalence_for_other_boundaries(self, rng, bc):
+        grid_tiled = _grid_2d(rng, bc=bc)
+        grid_single = grid_tiled.copy()
+        TiledStencilRunner(grid_tiled, (2, 3)).run(6)
+        NoProtection().run(grid_single, 6)
+        np.testing.assert_array_equal(grid_tiled.u, grid_single.u)
+
+    def test_equivalence_with_asymmetric_stencil(self, rng):
+        grid_tiled = _grid_2d(rng, spec=asymmetric_advection_2d(0.3, 0.2))
+        grid_single = grid_tiled.copy()
+        TiledStencilRunner(grid_tiled, (2, 2)).run(8)
+        NoProtection().run(grid_single, 8)
+        np.testing.assert_array_equal(grid_tiled.u, grid_single.u)
+
+    def test_3d_layer_decomposition_equivalence(self, rng):
+        grid_tiled = _grid_3d(rng)
+        grid_single = grid_tiled.copy()
+        TiledStencilRunner(grid_tiled, "layers").run(6)
+        NoProtection().run(grid_single, 6)
+        np.testing.assert_array_equal(grid_tiled.u, grid_single.u)
+
+    def test_thread_executor_equivalence(self, rng):
+        grid_tiled = _grid_2d(rng)
+        grid_single = grid_tiled.copy()
+        with ThreadPoolTileExecutor(workers=4) as pool:
+            TiledStencilRunner(grid_tiled, (2, 2), executor=pool).run(6)
+        NoProtection().run(grid_single, 6)
+        np.testing.assert_array_equal(grid_tiled.u, grid_single.u)
+
+    def test_unknown_decomposition_string(self, rng):
+        with pytest.raises(ValueError):
+            TiledStencilRunner(_grid_2d(rng), "columns")
+
+
+class TestTiledProtection:
+    def test_error_free_no_detection(self, rng):
+        grid = _grid_2d(rng)
+        runner = TiledStencilRunner.with_online_abft(grid, (2, 2), epsilon=1e-5)
+        runner.run(12)
+        assert runner.total_detected() == 0
+        assert runner.n_tiles == 4
+
+    def test_fault_detected_by_owning_tile_only(self, rng):
+        grid = _grid_2d(rng)
+        runner = TiledStencilRunner.with_online_abft(grid, (2, 2), epsilon=1e-5)
+        fault_index = (17, 15)  # inside tile (1, 1)
+        injector = FaultInjector([FaultPlan(iteration=5, index=fault_index, bit=26)])
+        runner.run(10, inject=injector)
+        assert runner.total_detected() >= 1
+        owning = runner.tile_of(fault_index)
+        for box in runner.boxes:
+            protector = runner.protectors[box.index]
+            if box.index == owning.index:
+                assert protector.total_detections >= 1
+            else:
+                assert protector.total_detections == 0
+
+    def test_fault_corrected_in_global_domain(self, rng):
+        grid = _grid_2d(rng)
+        reference = grid.copy()
+        reference.run(12)
+        injector = FaultInjector([FaultPlan(iteration=6, index=(5, 5), bit=25)])
+        runner = TiledStencilRunner.with_online_abft(grid, (2, 2), epsilon=1e-5)
+        runner.run(12, inject=injector)
+        assert runner.total_corrected() >= 1
+        assert l2_error(reference.u, grid.u) < 1.0
+
+    def test_per_layer_protection_of_3d_domain(self, rng):
+        grid = _grid_3d(rng)
+        reference = grid.copy()
+        reference.run(10)
+        injector = FaultInjector([FaultPlan(iteration=4, index=(6, 7, 2), bit=26)])
+        runner = TiledStencilRunner.with_online_abft(grid, "layers", epsilon=1e-5)
+        runner.run(10, inject=injector)
+        assert runner.total_detected() >= 1
+        assert runner.total_corrected() >= 1
+        assert l2_error(reference.u, grid.u) < 1.0
+        # only the struck layer's protector fired
+        firing = [
+            box.index for box in runner.boxes
+            if runner.protectors[box.index].total_detections > 0
+        ]
+        assert firing == [(2,)]
+
+    def test_reports_one_per_tile_per_step(self, rng):
+        grid = _grid_2d(rng)
+        runner = TiledStencilRunner.with_online_abft(grid, (2, 2), epsilon=1e-5)
+        reports = runner.step()
+        assert len(reports) == 4
+        assert all(r.detection_performed for r in reports)
+
+    def test_unprotected_runner_reports_no_detection(self, rng):
+        grid = _grid_2d(rng)
+        runner = TiledStencilRunner(grid, (2, 2))
+        reports = runner.step()
+        assert all(not r.detection_performed for r in reports)
+        assert runner.total_detected() == 0
+
+    def test_tile_of_unknown_point(self, rng):
+        runner = TiledStencilRunner(_grid_2d(rng), (2, 2))
+        with pytest.raises(ValueError):
+            runner.tile_of((1000, 1000))
