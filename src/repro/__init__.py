@@ -9,6 +9,13 @@ This package is a from-scratch Python reproduction of:
 
 The library is organised as a set of small, composable subsystems:
 
+``repro.backends``
+    Pluggable compute backends behind every sweep and checksum: the
+    ``numpy`` reference and the optimised ``fused`` backend (the paper's
+    fused sweep+checksum kernel), selected via ``backend=`` keywords,
+    the ``REPRO_BACKEND`` environment variable or the ``--backend`` CLI
+    flag.
+
 ``repro.stencil``
     Arbitrary 2D/3D stencil specifications, boundary conditions and
     vectorised sweep operators (the computational substrate the paper's
@@ -60,9 +67,18 @@ Quickstart
 """
 
 from repro.version import __version__
+# NOTE: the stencil imports must come first — repro.stencil.sweep is what
+# (fully) initialises repro.backends; importing repro.backends directly
+# here would re-enter it half-initialised via backends.base -> stencil.
 from repro.stencil.spec import StencilPoint, StencilSpec
 from repro.stencil.boundary import BoundaryCondition, BoundarySpec
 from repro.stencil.grid import Grid2D, Grid3D
+from repro.backends import (
+    Backend,
+    available_backends,
+    get_backend,
+    set_default_backend,
+)
 from repro.core.online import OnlineABFT
 from repro.core.offline import OfflineABFT
 from repro.core.protector import NoProtection, StepReport
@@ -74,6 +90,10 @@ from repro.metrics.accuracy import l2_error
 
 __all__ = [
     "__version__",
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "set_default_backend",
     "StencilPoint",
     "StencilSpec",
     "BoundaryCondition",

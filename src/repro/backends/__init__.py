@@ -1,0 +1,53 @@
+"""Pluggable compute backends.
+
+Every numerical hot path of the reproduction — the stencil sweep, the
+checksum reductions and the paper's fused sweep+checksum kernel — is
+routed through a :class:`~repro.backends.base.Backend`.  Two backends
+ship built in:
+
+``numpy``
+    The straightforward reference implementation (one temporary per
+    stencil point, post-hoc checksum passes).  Every other backend is
+    validated against it.
+``fused``
+    The optimised default: allocation-free in-place accumulation through
+    a preallocated scratch buffer, and checksums produced by the same
+    call as the sweep (cache-hot reduction), mirroring the paper's fused
+    float32 kernel.  Bitwise-identical results to ``numpy``.
+
+Select a backend with the ``backend=`` keyword accepted throughout the
+stack (grids, sweeps, protectors, the tiled runner), the
+``REPRO_BACKEND`` environment variable, or the CLI's ``--backend`` flag.
+The ROADMAP's planned numba/JIT, process-parallel and GPU backends plug
+into the same registry.
+"""
+
+from repro.backends.base import Backend, ChecksumMap
+from repro.backends.fused import FusedBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.registry import (
+    BUILTIN_DEFAULT,
+    ENV_VAR,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+
+__all__ = [
+    "Backend",
+    "ChecksumMap",
+    "NumpyBackend",
+    "FusedBackend",
+    "ENV_VAR",
+    "BUILTIN_DEFAULT",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "set_default_backend",
+    "default_backend_name",
+]
+
+register_backend(NumpyBackend(), aliases=("reference",))
+register_backend(FusedBackend())

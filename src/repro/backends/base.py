@@ -1,0 +1,171 @@
+"""The compute-backend contract.
+
+A *backend* owns the three numerical primitives every other layer of the
+reproduction is built on:
+
+``sweep_padded``
+    One stencil sweep over a ghost-padded array (Equation (1) of the
+    paper) returning the updated interior.
+``checksum``
+    A checksum vector of a domain along one reduction axis
+    (Equations (2)-(3)).
+``sweep_with_checksums``
+    The *fused* primitive: one sweep that also produces the checksum
+    vector(s) of the freshly computed interior, mirroring the paper's
+    fused kernel where the checksum is accumulated by the sweep itself
+    rather than by a separate post-hoc pass over the domain.
+
+All backends must agree numerically with the ``numpy`` reference within
+the detection threshold recommended by
+:func:`repro.core.thresholds.recommend_epsilon` — otherwise swapping the
+backend would shift the false-positive/detection trade-off the paper
+calibrates.  The equivalence is enforced by ``tests/test_backends.py``
+for every registered backend.
+
+Backends are registered with :func:`repro.backends.register_backend` and
+selected through :func:`repro.backends.get_backend` (programmatically),
+the ``REPRO_BACKEND`` environment variable, or the ``--backend`` CLI
+flag.  See ``README.md`` ("Adding a backend") for a walkthrough.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stencil.spec import StencilSpec
+
+__all__ = ["Backend", "ChecksumMap"]
+
+#: ``{reduce_axis: checksum_vector}`` as produced by the fused sweep.
+ChecksumMap = Dict[int, np.ndarray]
+
+
+class Backend(ABC):
+    """Abstract compute backend: sweep, checksum and fused sweep+checksum."""
+
+    #: Registry name (also accepted by ``get_backend`` / ``REPRO_BACKEND``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def sweep_padded(
+        self,
+        padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply one stencil sweep to a ghost-padded array.
+
+        Parameters
+        ----------
+        padded:
+            Domain surrounded by ghost cells (boundary condition or halo
+            data already applied).
+        spec:
+            The stencil operator.
+        radius:
+            Ghost width of ``padded`` (scalar or per axis); must be at
+            least the stencil radius on every axis.
+        interior_shape:
+            Shape of the interior domain to update.
+        constant:
+            Optional per-point constant term :math:`C` (same shape as
+            the interior), e.g. a heat-source/power map.
+        out:
+            Optional pre-allocated output array (interior shape).
+
+        Returns
+        -------
+        numpy.ndarray
+            The updated interior domain at step ``t+1``.
+        """
+
+    @staticmethod
+    def _normalize_sweep_args(
+        padded: np.ndarray,
+        radius,
+        interior_shape: Sequence[int],
+        constant: Optional[np.ndarray],
+        out: Optional[np.ndarray],
+    ):
+        """Shared ``sweep_padded`` precondition checks.
+
+        Returns the coerced ``(interior_shape, radius)`` pair; raises
+        ``ValueError`` on shape mismatches. Backends call this first so
+        validation behaviour cannot drift between implementations.
+        """
+        from repro.stencil.shift import normalize_radius
+
+        interior_shape = tuple(int(n) for n in interior_shape)
+        radius = normalize_radius(radius, padded.ndim)
+        if out is not None and out.shape != interior_shape:
+            raise ValueError(
+                f"out has shape {out.shape}, expected {interior_shape}"
+            )
+        if constant is not None and constant.shape != interior_shape:
+            raise ValueError(
+                f"constant has shape {constant.shape}, expected {interior_shape}"
+            )
+        return interior_shape, radius
+
+    def checksum(
+        self, u: np.ndarray, axis: int, dtype: Optional[np.dtype] = None
+    ) -> np.ndarray:
+        """Checksum vector of ``u`` along ``axis`` (Eqs. 2-3).
+
+        ``axis`` is 0 for the column checksum ``b`` and 1 for the row
+        checksum ``a``; ``dtype`` selects the accumulation precision
+        (``None`` accumulates in the domain dtype, the paper's float32
+        behaviour).
+        """
+        from repro.core.checksums import checksum as _checksum
+
+        return _checksum(u, axis, dtype=dtype)
+
+    def sweep_with_checksums(
+        self,
+        padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        axes: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+    ) -> Tuple[np.ndarray, ChecksumMap]:
+        """One sweep returning the new interior *and* its checksum(s).
+
+        The base implementation is deliberately unfused — a full sweep
+        followed by one independent checksum pass per axis — so that a
+        minimal backend only has to provide ``sweep_padded``.  Optimised
+        backends override this to produce the checksums from the same
+        traversal that computes the interior.
+
+        Parameters
+        ----------
+        axes:
+            Reduction axes to checksum (subset of ``(0, 1)``).
+        checksum_dtype:
+            Accumulation dtype of the checksums (``None`` → domain
+            dtype, as in the paper's fused float32 kernel).
+
+        Returns
+        -------
+        (new_interior, {axis: checksum_vector})
+        """
+        new = self.sweep_padded(
+            padded, spec, radius, interior_shape, constant=constant, out=out
+        )
+        checksums: ChecksumMap = {
+            int(axis): self.checksum(new, int(axis), dtype=checksum_dtype)
+            for axis in axes
+        }
+        return new, checksums
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -26,6 +26,7 @@ def rollback_and_recompute(
     iterations: int,
     inject: Optional[Callable[[GridBase, int], None]] = None,
     on_step: Optional[StepCallback] = None,
+    backend=None,
 ) -> int:
     """Restore ``grid`` from ``checkpoint`` and recompute ``iterations`` sweeps.
 
@@ -46,6 +47,11 @@ def rollback_and_recompute(
         Optional callback invoked after every recomputed sweep — the
         offline protector uses it to re-record the boundary strips it
         needs for re-verification.
+    backend:
+        Optional compute backend (name or instance) for the recomputed
+        sweeps. The offline protector forwards its own backend so the
+        replayed window uses the same numerics as the original sweeps;
+        ``None`` uses the grid's backend.
 
     Returns
     -------
@@ -56,7 +62,7 @@ def rollback_and_recompute(
         raise ValueError("iterations must be non-negative")
     grid.restore(checkpoint.snapshot)
     for _ in range(iterations):
-        grid.step()
+        grid.step(backend=backend)
         if inject is not None:
             inject(grid, grid.iteration)
         if on_step is not None:

@@ -9,10 +9,15 @@ Regenerates the paper's tables and figures from the command line::
     python -m repro figure11
     python -m repro sensitivity
     python -m repro all --scale quick
+    python -m repro backends
 
 ``--scale paper`` switches to the published campaign parameters
 (hours of compute in pure NumPy); ``--scale smoke`` is the tiny
-configuration used by the test suite.
+configuration used by the test suite. Every experiment accepts
+``--backend`` to pick the compute backend (overriding the
+``REPRO_BACKEND`` environment variable); ``backends`` lists what is
+registered. The same entry point is installed as the ``repro`` (and
+``repro-abft``) console script by ``pip install -e .``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,12 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.backends import (
+    available_backends,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+)
 from repro.experiments import (
     EvaluationScale,
     format_figure8,
@@ -83,6 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="optional file to write the rendered table to",
         )
+        sub.add_argument(
+            "--backend",
+            choices=available_backends(),
+            default=None,
+            help=(
+                "compute backend for every sweep/checksum (default: the "
+                "REPRO_BACKEND environment variable, else 'fused')"
+            ),
+        )
+
+    subparsers.add_parser(
+        "backends", help="list the registered compute backends"
+    )
     return parser
 
 
@@ -97,6 +121,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "backends":
+        default = default_backend_name()
+        for name in available_backends():
+            backend = get_backend(name)
+            marker = " (default)" if name == default else ""
+            print(f"{name:12s} -> {type(backend).__name__}{marker}")
+        return 0
+
+    if args.backend is not None:
+        set_default_backend(args.backend)
+    else:
+        # Fail fast on a bad REPRO_BACKEND instead of crashing mid-run
+        # (some experiments only resolve the backend at the first sweep).
+        try:
+            get_backend()
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
     scale = _SCALES[args.scale]()
 
     if args.command == "all":

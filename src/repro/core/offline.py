@@ -28,9 +28,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.backends import get_backend
+from repro.backends.registry import BackendLike
 from repro.checkpoint.recovery import rollback_and_recompute
 from repro.checkpoint.store import Checkpoint, InMemoryCheckpointStore
-from repro.core.checksums import checksum, constant_checksum
+from repro.core.checksums import constant_checksum
 from repro.core.detection import detect_errors
 from repro.core.interpolation import (
     extract_delta_strips,
@@ -76,6 +78,14 @@ class OfflineABFT(Protector):
         so that the Δ-step replay does not itself drift past ε — a
         documented deviation from the paper's float32 checksums (see
         EXPERIMENTS.md).
+    backend:
+        Compute backend (registry name or instance) used for the sweeps
+        and checksums. ``None`` follows the grid's backend. On the sweep
+        that closes a detection window (and only there — intermediate
+        sweeps need no checksum) the fused sweep+checksum primitive
+        produces the verified checksum together with the sweep, unless a
+        fault-injection hook is active (the hook must be able to corrupt
+        the domain *before* the checksum is taken).
     """
 
     name = "offline-abft"
@@ -94,6 +104,7 @@ class OfflineABFT(Protector):
         store: Optional[InMemoryCheckpointStore] = None,
         max_recovery_attempts: int = 3,
         checksum_dtype=np.float64,
+        backend: BackendLike = None,
     ) -> None:
         if period < 1:
             raise ValueError(f"period must be >= 1, got {period}")
@@ -113,6 +124,7 @@ class OfflineABFT(Protector):
         self.track_strips = bool(track_strips)
         self.radius = spec.radius()
         self.max_recovery_attempts = int(max_recovery_attempts)
+        self.backend = None if backend is None else get_backend(backend)
         self.store = store if store is not None else InMemoryCheckpointStore()
         if epsilon is None:
             # As for the online protector, the margin is governed by the
@@ -130,6 +142,7 @@ class OfflineABFT(Protector):
         self._ckpt_checksum: Optional[np.ndarray] = None
         self._strips: List[Dict[int, np.ndarray]] = []
         self._since_checkpoint = 0
+        self._pending_cs: Optional[np.ndarray] = None
         # Statistics exposed for the experiments.
         self.total_detections = 0
         self.total_rollbacks = 0
@@ -153,13 +166,15 @@ class OfflineABFT(Protector):
         self._ckpt_checksum = None
         self._strips = []
         self._since_checkpoint = 0
+        self._pending_cs = None
         self.store.clear()
         self.total_detections = 0
         self.total_rollbacks = 0
         self.total_recomputed_iterations = 0
 
     def _checksum(self, u: np.ndarray) -> np.ndarray:
-        return checksum(u, self.verify_axis, dtype=self.checksum_dtype)
+        be = self.backend if self.backend is not None else get_backend()
+        return be.checksum(u, self.verify_axis, dtype=self.checksum_dtype)
 
     def _record_strips(self, grid: GridBase) -> None:
         if not self.track_strips:
@@ -170,8 +185,11 @@ class OfflineABFT(Protector):
         )
         self._strips.append(strips)
 
-    def _take_checkpoint(self, grid: GridBase) -> None:
-        cs = self._checksum(grid.u)
+    def _take_checkpoint(self, grid: GridBase, cs: Optional[np.ndarray] = None) -> None:
+        # ``cs`` lets a caller that just verified the domain reuse its
+        # computed checksum instead of paying another reduction pass.
+        if cs is None:
+            cs = self._checksum(grid.u)
         self.store.save(
             Checkpoint(
                 iteration=grid.iteration,
@@ -206,9 +224,24 @@ class OfflineABFT(Protector):
         if self._ckpt_checksum is None:
             # Initial verified state (t = 0 data assumed correct).
             self._take_checkpoint(grid)
-        grid.step()
-        if inject is not None:
-            inject(grid, grid.iteration)
+        closes_window = self._since_checkpoint + 1 >= self.period
+        if (
+            inject is None
+            and closes_window
+            and hasattr(grid, "step_with_checksums")
+        ):
+            # The sweep that ends the detection window also produces the
+            # checksum that will be verified — the fused kernel path.
+            _, checksums = grid.step_with_checksums(
+                (self.verify_axis,),
+                checksum_dtype=self.checksum_dtype,
+                backend=self.backend,
+            )
+            self._pending_cs = checksums[self.verify_axis]
+        else:
+            grid.step(backend=self.backend)
+            if inject is not None:
+                inject(grid, grid.iteration)
         self._record_strips(grid)
         self._since_checkpoint += 1
 
@@ -229,7 +262,14 @@ class OfflineABFT(Protector):
         report = StepReport(iteration=grid.iteration, detection_performed=True)
         attempts = 0
         while True:
-            cs_comp = self._checksum(grid.u)
+            if self._pending_cs is not None:
+                # Checksum produced by the fused window-closing sweep;
+                # valid only for the domain as the sweep left it, so it
+                # is consumed once and recomputed after any rollback.
+                cs_comp = self._pending_cs
+                self._pending_cs = None
+            else:
+                cs_comp = self._checksum(grid.u)
             cs_pred = self._replay_interpolation()
             detection = detect_errors(cs_comp, cs_pred, self.epsilon)
             report.max_relative_error = max(
@@ -257,6 +297,7 @@ class OfflineABFT(Protector):
                 window,
                 inject=inject,
                 on_step=self._record_strips,
+                backend=self.backend,
             )
             report.rollback = True
             report.recomputed_iterations += recomputed
@@ -266,5 +307,8 @@ class OfflineABFT(Protector):
         report.errors_corrected = max(
             0, report.errors_detected - report.errors_uncorrected
         )
-        self._take_checkpoint(grid)
+        # ``cs_comp`` matches grid.u whenever the loop exited clean; on an
+        # uncorrectable exit the domain was not modified after cs_comp
+        # either, so the checksum can seed the next checkpoint unchanged.
+        self._take_checkpoint(grid, cs=cs_comp)
         return report

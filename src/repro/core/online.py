@@ -25,7 +25,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.checksums import checksum, constant_checksum
+from repro.backends import ChecksumMap, get_backend
+from repro.backends.registry import BackendLike
+from repro.core.checksums import constant_checksum
 from repro.core.correction import correct_errors, match_detections
 from repro.core.detection import detect_errors
 from repro.core.interpolation import interpolate_checksum_padded
@@ -87,6 +89,23 @@ class OnlineABFT(Protector):
         iterations; the refresh costs one row/column sum per corrected
         point and avoids that. Set to ``False`` to reproduce the paper's
         listing exactly.
+    backend:
+        Compute backend (registry name or instance) used for the fused
+        sweep+checksum step and for any checksum the protector computes
+        itself. ``None`` follows the grid's backend (which in turn
+        defaults to the process-wide selection).
+
+    Notes
+    -----
+    When :meth:`step` is called without a fault-injection hook the sweep
+    and the verified checksum come from the backend's *fused*
+    ``sweep_with_checksums`` primitive — the checksum is produced by the
+    sweep itself, as in the paper's fused float32 kernel. With an
+    ``inject`` hook the checksum is recomputed from the (possibly
+    corrupted) domain after the hook runs, preserving the paper's
+    injection semantics ("after the stencil point ... has been updated");
+    a checksum fused into the sweep would otherwise be blind to a fault
+    landing between the sweep and the verification.
     """
 
     name = "online-abft"
@@ -104,6 +123,7 @@ class OnlineABFT(Protector):
         eager_row_checksum: bool = False,
         checksum_dtype=np.float64,
         refresh_checksums: bool = True,
+        backend: BackendLike = None,
     ) -> None:
         if verify_axis not in (0, 1):
             raise ValueError("verify_axis must be 0 (column) or 1 (row)")
@@ -121,6 +141,7 @@ class OnlineABFT(Protector):
         self.correction_strategy = correction_strategy
         self.eager_row_checksum = bool(eager_row_checksum)
         self.refresh_checksums = bool(refresh_checksums)
+        self.backend = None if backend is None else get_backend(backend)
         self.radius = spec.radius()
         if epsilon is None:
             # The detection margin is governed by the *domain* dtype (the
@@ -160,7 +181,14 @@ class OnlineABFT(Protector):
         self.total_uncorrected = 0
 
     def _checksum(self, u: np.ndarray, axis: int) -> np.ndarray:
-        return checksum(u, axis, dtype=self.checksum_dtype)
+        be = self.backend if self.backend is not None else get_backend()
+        return be.checksum(u, axis, dtype=self.checksum_dtype)
+
+    def verify_axes(self):
+        """Axes whose checksums each sweep must produce for this protector."""
+        if self.eager_row_checksum:
+            return (self.verify_axis, self.other_axis)
+        return (self.verify_axis,)
 
     def step(self, grid: GridBase, inject: Optional[InjectHook] = None) -> StepReport:
         if grid.shape != self.shape:
@@ -174,13 +202,32 @@ class OnlineABFT(Protector):
             if self.eager_row_checksum:
                 self._prev_cs[other] = self._checksum(grid.u, other)
 
-        grid.step()
+        if inject is None and hasattr(grid, "step_with_checksums"):
+            # Fault-free fast path: the sweep produces the verified
+            # checksum itself (the paper's fused kernel).
+            _, checksums = grid.step_with_checksums(
+                self.verify_axes(),
+                checksum_dtype=self.checksum_dtype,
+                backend=self.backend,
+            )
+            return self.process(
+                grid.u,
+                grid.previous_padded,
+                grid.iteration,
+                precomputed_checksums=checksums,
+            )
+
+        grid.step(backend=self.backend)
         if inject is not None:
             inject(grid, grid.iteration)
         return self.process(grid.u, grid.previous_padded, grid.iteration)
 
     def process(
-        self, u_new: np.ndarray, padded_prev: np.ndarray, iteration: int
+        self,
+        u_new: np.ndarray,
+        padded_prev: np.ndarray,
+        iteration: int,
+        precomputed_checksums: Optional[ChecksumMap] = None,
     ) -> StepReport:
         """Verify (and correct) a freshly swept domain.
 
@@ -190,6 +237,11 @@ class OnlineABFT(Protector):
         come from a closed boundary condition *or* from halo exchange with
         neighbouring tiles — the interpolation handles both identically).
         The parallel tile runner calls this directly, one call per tile.
+
+        ``precomputed_checksums`` carries checksums of ``u_new`` already
+        produced by a fused sweep (``{axis: vector}``); any axis present
+        is trusted instead of being recomputed here, so callers must only
+        pass checksums that reflect ``u_new``'s current contents.
         """
         from repro.stencil.shift import interior_view
 
@@ -206,7 +258,10 @@ class OnlineABFT(Protector):
         grid_u = u_new
         grid_ndim = u_new.ndim
 
-        cs_comp = self._checksum(grid_u, verify)
+        if precomputed_checksums is not None and verify in precomputed_checksums:
+            cs_comp = precomputed_checksums[verify]
+        else:
+            cs_comp = self._checksum(grid_u, verify)
         cs_interp = interpolate_checksum_padded(
             self._prev_cs[verify],
             padded_prev,
@@ -227,7 +282,10 @@ class OnlineABFT(Protector):
 
         other_comp = None
         if self.eager_row_checksum:
-            other_comp = self._checksum(grid_u, other)
+            if precomputed_checksums is not None and other in precomputed_checksums:
+                other_comp = precomputed_checksums[other]
+            else:
+                other_comp = self._checksum(grid_u, other)
 
         if detection.detected:
             self.total_detections += detection.n_errors

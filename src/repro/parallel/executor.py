@@ -8,6 +8,7 @@ same ``map`` interface so the tiled runner is executor-agnostic.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
@@ -15,6 +16,13 @@ __all__ = ["SerialExecutor", "ThreadPoolTileExecutor", "make_executor"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    """``None`` → all available cores (never fewer than 1)."""
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    return int(workers)
 
 
 class SerialExecutor:
@@ -43,13 +51,15 @@ class ThreadPoolTileExecutor:
     ----------
     workers:
         Number of worker threads (the paper uses 8 OpenMP threads, one
-        per layer of the 3D tiles).
+        per layer of the 3D tiles). ``None`` uses every available core
+        (``os.cpu_count()``).
     """
 
-    def __init__(self, workers: int = 4) -> None:
+    def __init__(self, workers: Optional[int] = None) -> None:
+        workers = _resolve_workers(workers)
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        self.workers = int(workers)
+        self.workers = workers
         self._pool: Optional[ThreadPoolExecutor] = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -74,8 +84,12 @@ class ThreadPoolTileExecutor:
         self.shutdown()
 
 
-def make_executor(kind: str = "serial", workers: int = 4):
-    """Build an executor by name (``"serial"`` or ``"threads"``)."""
+def make_executor(kind: str = "serial", workers: Optional[int] = None):
+    """Build an executor by name (``"serial"`` or ``"threads"``).
+
+    ``workers=None`` sizes the thread pool to ``os.cpu_count()`` so
+    callers no longer need to hardcode a worker count.
+    """
     if kind == "serial":
         return SerialExecutor()
     if kind in ("threads", "thread", "threadpool"):

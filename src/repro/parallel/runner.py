@@ -18,6 +18,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backends import get_backend
+from repro.backends.registry import BackendLike
 from repro.core.online import OnlineABFT
 from repro.core.protector import InjectHook, StepReport
 from repro.parallel.decomposition import TileBox, decompose, decompose_layers
@@ -25,7 +27,6 @@ from repro.parallel.executor import SerialExecutor
 from repro.parallel.halo import padded_tile_view, tile_constant
 from repro.stencil.grid import GridBase
 from repro.stencil.shift import pad_array
-from repro.stencil.sweep import sweep_padded
 
 __all__ = ["TiledStencilRunner"]
 
@@ -51,6 +52,13 @@ class TiledStencilRunner:
     executor:
         Tile executor (:class:`SerialExecutor` by default, or a
         :class:`~repro.parallel.executor.ThreadPoolTileExecutor`).
+    backend:
+        Compute backend executing the per-tile sweeps (registry name or
+        instance; ``None`` follows the grid's backend). Protected tiles
+        are swept with the backend's fused sweep+checksum primitive, so
+        each tile's verified checksum is produced by its own sweep —
+        unless a fault-injection hook is active, in which case checksums
+        are recomputed after injection as the paper's semantics require.
     """
 
     def __init__(
@@ -59,6 +67,7 @@ class TiledStencilRunner:
         parts: Sequence[int] | str = (2, 2),
         protector_factory: Optional[TileProtectorFactory] = None,
         executor=None,
+        backend: BackendLike = None,
     ) -> None:
         self.grid = grid
         if isinstance(parts, str):
@@ -68,6 +77,7 @@ class TiledStencilRunner:
         else:
             self.boxes = decompose(grid.shape, parts)
         self.executor = executor if executor is not None else SerialExecutor()
+        self.backend = None if backend is None else get_backend(backend)
         self.protectors: Dict[tuple, Optional[OnlineABFT]] = {}
         if protector_factory is not None:
             for box in self.boxes:
@@ -84,6 +94,7 @@ class TiledStencilRunner:
         grid: GridBase,
         parts: Sequence[int] | str = (2, 2),
         executor=None,
+        backend: BackendLike = None,
         **abft_kwargs,
     ) -> "TiledStencilRunner":
         """A runner whose every tile is protected by its own OnlineABFT."""
@@ -95,10 +106,13 @@ class TiledStencilRunner:
                 box.shape,
                 dtype=g.dtype,
                 constant=tile_constant(g.constant, box),
+                backend=backend,
                 **abft_kwargs,
             )
 
-        return cls(grid, parts, protector_factory=factory, executor=executor)
+        return cls(
+            grid, parts, protector_factory=factory, executor=executor, backend=backend
+        )
 
     # -- stepping ------------------------------------------------------------------
     @property
@@ -111,25 +125,48 @@ class TiledStencilRunner:
         Returns one report per tile (empty report for unprotected tiles).
         """
         grid = self.grid
+        be = self.backend if self.backend is not None else grid.backend
         padded_global = pad_array(grid.u, self.radius, grid.boundary)
         new_global = np.empty_like(grid.u)
         tile_padded: Dict[tuple, np.ndarray] = {}
+        tile_checksums: Dict[tuple, Optional[dict]] = {}
+        # With an injection hook active, checksums fused into the sweep
+        # would predate the injected fault and mask it — fall back to
+        # post-injection checksum computation inside process().
+        fused = inject is None
 
         def sweep_tile(box: TileBox):
             ptile = padded_tile_view(padded_global, box, self.radius)
             const = tile_constant(grid.constant, box)
-            new_tile = sweep_padded(ptile, grid.spec, self.radius, box.shape, constant=const)
-            return box, ptile, new_tile
+            protector = self.protectors[box.index]
+            if fused and protector is not None:
+                new_tile, checksums = be.sweep_with_checksums(
+                    ptile,
+                    grid.spec,
+                    self.radius,
+                    box.shape,
+                    protector.verify_axes(),
+                    constant=const,
+                    checksum_dtype=protector.checksum_dtype,
+                )
+            else:
+                new_tile = be.sweep_padded(
+                    ptile, grid.spec, self.radius, box.shape, constant=const
+                )
+                checksums = None
+            return box, ptile, new_tile, checksums
 
-        for box, ptile, new_tile in self.executor.map(sweep_tile, self.boxes):
+        for box, ptile, new_tile, checksums in self.executor.map(
+            sweep_tile, self.boxes
+        ):
             new_global[box.slices] = new_tile
             tile_padded[box.index] = ptile
+            tile_checksums[box.index] = checksums
 
-        # Commit the new step on the grid (double buffering as Grid.step does).
-        grid._previous = grid.u
-        grid._previous_padded = padded_global
-        grid.u = new_global
-        grid.iteration += 1
+        # Commit the new step on the grid (same double-buffer swap as
+        # Grid.step; per-tile checksums live in tile_checksums, not on
+        # the grid).
+        grid._commit(padded_global, new_global, None)
 
         # Fault injection targets the freshly swept global domain, matching
         # the single-grid protectors' injection point.
@@ -146,7 +183,10 @@ class TiledStencilRunner:
                 continue
             tile_view = grid.u[box.slices]
             report = protector.process(
-                tile_view, tile_padded[box.index], grid.iteration
+                tile_view,
+                tile_padded[box.index],
+                grid.iteration,
+                precomputed_checksums=tile_checksums[box.index],
             )
             reports.append(report)
         return reports

@@ -16,7 +16,9 @@ The implementation is split into small modules:
     Ghost-cell padding and shifted-view helpers shared by the sweep and
     by the ABFT checksum interpolation.
 ``sweep``
-    The generic N-dimensional padded sweep operator.
+    The generic N-dimensional padded sweep operator (plus the fused
+    ``sweep_with_checksums`` primitive). Both dispatch to the pluggable
+    compute backends of :mod:`repro.backends`.
 ``sweep2d`` / ``sweep3d``
     Dimension-checked convenience wrappers.
 ``reference``
@@ -30,7 +32,7 @@ The implementation is split into small modules:
 from repro.stencil.spec import StencilPoint, StencilSpec
 from repro.stencil.boundary import BoundaryCondition, BoundarySpec
 from repro.stencil.shift import pad_array, shifted_view, interior_slices
-from repro.stencil.sweep import sweep_padded, sweep
+from repro.stencil.sweep import sweep_padded, sweep, sweep_with_checksums
 from repro.stencil.sweep2d import sweep2d
 from repro.stencil.sweep3d import sweep3d
 from repro.stencil.grid import Grid2D, Grid3D, GridBase
@@ -46,6 +48,7 @@ __all__ = [
     "interior_slices",
     "sweep_padded",
     "sweep",
+    "sweep_with_checksums",
     "sweep2d",
     "sweep3d",
     "Grid2D",

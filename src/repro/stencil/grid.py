@@ -17,10 +17,11 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import Backend, ChecksumMap, get_backend
+from repro.backends.registry import BackendLike
 from repro.stencil.boundary import BoundaryCondition, BoundarySpec
 from repro.stencil.shift import pad_array
 from repro.stencil.spec import StencilSpec
-from repro.stencil.sweep import sweep_padded
 
 __all__ = ["GridBase", "Grid2D", "Grid3D", "GridSnapshot"]
 
@@ -56,6 +57,10 @@ class GridBase:
         (heat source, power map, ...). Same shape as the domain.
     copy:
         Whether to copy ``initial``.
+    backend:
+        Compute backend executing the sweeps: a registry name, a
+        :class:`~repro.backends.base.Backend` instance, or ``None`` to
+        track the process default (``REPRO_BACKEND`` / ``--backend``).
     """
 
     expected_ndim: Optional[int] = None
@@ -67,6 +72,7 @@ class GridBase:
         boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
         constant: Optional[np.ndarray] = None,
         copy: bool = True,
+        backend: BackendLike = None,
     ) -> None:
         u = np.array(initial, copy=True) if copy else np.asarray(initial)
         if self.expected_ndim is not None and u.ndim != self.expected_ndim:
@@ -92,8 +98,12 @@ class GridBase:
         self.constant = constant
         self.radius = spec.radius()
         self.iteration = 0
+        self.backend_spec = backend
         self._previous: Optional[np.ndarray] = None
         self._previous_padded: Optional[np.ndarray] = None
+        #: Checksums produced by the last fused step (``None`` after a
+        #: plain :meth:`step`).
+        self.last_checksums: Optional[ChecksumMap] = None
 
     # -- basic accessors ----------------------------------------------------
     @property
@@ -122,12 +132,24 @@ class GridBase:
         """Ghost-padded domain at the previous step (``None`` before step 1)."""
         return self._previous_padded
 
+    @property
+    def backend(self) -> Backend:
+        """The resolved compute backend.
+
+        Resolved on every access so a grid built with ``backend=None``
+        follows later :func:`~repro.backends.set_default_backend` /
+        ``--backend`` changes.
+        """
+        return get_backend(self.backend_spec)
+
     # -- stepping -----------------------------------------------------------
     def padded_current(self) -> np.ndarray:
         """Ghost-padded copy of the current domain."""
         return pad_array(self.u, self.radius, self.boundary)
 
-    def step(self, padded: Optional[np.ndarray] = None) -> np.ndarray:
+    def step(
+        self, padded: Optional[np.ndarray] = None, backend: BackendLike = None
+    ) -> np.ndarray:
         """Advance one stencil sweep and return the new domain.
 
         Parameters
@@ -137,17 +159,69 @@ class GridBase:
             runner, where ghost cells carry halo data from neighbouring
             tiles instead of a closed boundary condition). When omitted
             the grid pads itself from its boundary specification.
+        backend:
+            Optional backend override for this step only (``None`` →
+            the grid's own backend).
         """
+        be = self.backend if backend is None else get_backend(backend)
         if padded is None:
             padded = self.padded_current()
-        new = sweep_padded(
+        new = be.sweep_padded(
             padded, self.spec, self.radius, self.u.shape, constant=self.constant
         )
+        self._commit(padded, new, None)
+        return new
+
+    def step_with_checksums(
+        self,
+        axes: Sequence[int],
+        checksum_dtype: Optional[np.dtype] = None,
+        padded: Optional[np.ndarray] = None,
+        backend: BackendLike = None,
+    ) -> Tuple[np.ndarray, ChecksumMap]:
+        """Advance one sweep and return the new domain plus its checksums.
+
+        Delegates to the backend's fused sweep+checksum primitive, so the
+        verified checksum is produced by the sweep itself (the paper's
+        fused kernel) instead of a separate pass.  The checksums are also
+        stored in :attr:`last_checksums`.
+
+        Parameters
+        ----------
+        axes:
+            Reduction axes to checksum (subset of ``(0, 1)``).
+        checksum_dtype:
+            Accumulation dtype of the checksums (``None`` → domain dtype).
+        padded, backend:
+            As for :meth:`step`.
+        """
+        be = self.backend if backend is None else get_backend(backend)
+        if padded is None:
+            padded = self.padded_current()
+        new, checksums = be.sweep_with_checksums(
+            padded,
+            self.spec,
+            self.radius,
+            self.u.shape,
+            axes,
+            constant=self.constant,
+            checksum_dtype=checksum_dtype,
+        )
+        self._commit(padded, new, checksums)
+        return new, checksums
+
+    def _commit(
+        self,
+        padded: np.ndarray,
+        new: np.ndarray,
+        checksums: Optional[ChecksumMap],
+    ) -> None:
+        """Double-buffer swap shared by :meth:`step` and the fused step."""
         self._previous = self.u
         self._previous_padded = padded
         self.u = new
         self.iteration += 1
-        return new
+        self.last_checksums = checksums
 
     def run(self, iterations: int) -> np.ndarray:
         """Advance ``iterations`` sweeps and return the final domain."""
@@ -172,6 +246,7 @@ class GridBase:
         self.iteration = snap.iteration
         self._previous = None
         self._previous_padded = None
+        self.last_checksums = None
 
     def copy(self) -> "GridBase":
         """Independent deep copy of this grid."""
@@ -181,6 +256,7 @@ class GridBase:
             self.boundary,
             constant=None if self.constant is None else self.constant.copy(),
             copy=True,
+            backend=self.backend_spec,
         )
         clone.iteration = self.iteration
         return clone

@@ -10,19 +10,28 @@ as a vectorised accumulation of shifted views over a ghost-padded array.
 The padded form (:func:`sweep_padded`) is the primitive shared with the
 parallel tile runner, which fills the ghost cells with halo data instead
 of a closed boundary condition.
+
+The actual arithmetic lives in the pluggable compute backends
+(:mod:`repro.backends`); the functions here are thin dispatchers that
+resolve the active backend and delegate, so every caller — grids,
+protectors, the tiled runner, the baselines — picks up the selected
+backend transparently.  :func:`sweep_with_checksums` exposes the fused
+sweep+checksum primitive at the same level.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import ChecksumMap, get_backend
+from repro.backends.registry import BackendLike
 from repro.stencil.boundary import BoundaryCondition, BoundarySpec
-from repro.stencil.shift import normalize_radius, pad_array, shifted_view
+from repro.stencil.shift import pad_array
 from repro.stencil.spec import StencilSpec
 
-__all__ = ["sweep_padded", "sweep"]
+__all__ = ["sweep_padded", "sweep", "sweep_with_checksums"]
 
 
 def sweep_padded(
@@ -32,6 +41,7 @@ def sweep_padded(
     interior_shape: Sequence[int],
     constant: Optional[np.ndarray] = None,
     out: Optional[np.ndarray] = None,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """Apply one stencil sweep to a ghost-padded array.
 
@@ -52,36 +62,48 @@ def sweep_padded(
         interior), e.g. a heat-source/power map.
     out:
         Optional pre-allocated output array (interior shape).
+    backend:
+        Compute backend name or instance (``None`` → active default).
 
     Returns
     -------
     numpy.ndarray
         The updated interior domain at step ``t+1``.
     """
-    interior_shape = tuple(int(n) for n in interior_shape)
-    radius = normalize_radius(radius, padded.ndim)
-    dtype = padded.dtype
-    if out is None:
-        out = np.zeros(interior_shape, dtype=dtype)
-    else:
-        if out.shape != interior_shape:
-            raise ValueError(
-                f"out has shape {out.shape}, expected {interior_shape}"
-            )
-        out[...] = 0
-    if constant is not None:
-        if constant.shape != interior_shape:
-            raise ValueError(
-                f"constant has shape {constant.shape}, expected {interior_shape}"
-            )
-        out += constant
-    for offset, weight in spec:
-        view = shifted_view(padded, offset, radius, interior_shape)
-        # ``out += w * view`` without a temporary of full size would need
-        # numexpr; the straightforward form is still a single fused pass
-        # per stencil point, matching the paper's per-point cost model.
-        out += np.asarray(weight, dtype=dtype) * view
-    return out
+    return get_backend(backend).sweep_padded(
+        padded, spec, radius, interior_shape, constant=constant, out=out
+    )
+
+
+def sweep_with_checksums(
+    padded: np.ndarray,
+    spec: StencilSpec,
+    radius,
+    interior_shape: Sequence[int],
+    axes: Sequence[int],
+    constant: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+    checksum_dtype: Optional[np.dtype] = None,
+    backend: BackendLike = None,
+) -> Tuple[np.ndarray, ChecksumMap]:
+    """One sweep that also returns the checksum(s) of the new interior.
+
+    This is the paper's fused kernel shape: the verified checksum is
+    produced together with the sweep instead of by an independent pass.
+    ``axes`` selects the reduction axes (0 → column checksum ``b``,
+    1 → row checksum ``a``); the result is
+    ``(new_interior, {axis: checksum_vector})``.
+    """
+    return get_backend(backend).sweep_with_checksums(
+        padded,
+        spec,
+        radius,
+        interior_shape,
+        axes,
+        constant=constant,
+        out=out,
+        checksum_dtype=checksum_dtype,
+    )
 
 
 def sweep(
@@ -90,6 +112,7 @@ def sweep(
     boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
     constant: Optional[np.ndarray] = None,
     out: Optional[np.ndarray] = None,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """Apply one stencil sweep to an interior domain with a boundary condition.
 
@@ -102,4 +125,6 @@ def sweep(
         )
     radius = spec.radius()
     padded = pad_array(u, radius, boundary)
-    return sweep_padded(padded, spec, radius, u.shape, constant=constant, out=out)
+    return sweep_padded(
+        padded, spec, radius, u.shape, constant=constant, out=out, backend=backend
+    )

@@ -6,6 +6,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.backends.registry import BackendLike
 from repro.stencil.boundary import BoundaryCondition, BoundarySpec
 from repro.stencil.spec import StencilSpec
 from repro.stencil.sweep import sweep
@@ -19,6 +20,7 @@ def sweep3d(
     boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
     constant: Optional[np.ndarray] = None,
     out: Optional[np.ndarray] = None,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """One sweep of a 3D stencil over a 3D domain.
 
@@ -36,9 +38,11 @@ def sweep3d(
         Optional per-point constant term of shape ``(nx, ny, nz)``.
     out:
         Optional output array.
+    backend:
+        Compute backend name or instance (``None`` → active default).
     """
     if u.ndim != 3:
         raise ValueError(f"sweep3d expects a 3D array, got shape {u.shape}")
     if spec.ndim != 3:
         raise ValueError(f"sweep3d expects a 3D stencil, got {spec.ndim}D")
-    return sweep(u, spec, boundary, constant=constant, out=out)
+    return sweep(u, spec, boundary, constant=constant, out=out, backend=backend)

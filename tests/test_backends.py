@@ -1,0 +1,246 @@
+"""Backend registry and cross-backend numerical equivalence tests.
+
+Every registered backend must match the ``numpy`` reference within the
+detection threshold of :func:`repro.core.thresholds.recommend_epsilon`
+across the whole stencil library (2D and 3D, every boundary condition),
+and the checksums its fused sweep produces must equal post-hoc
+``checksum()`` results — otherwise swapping backends would change the
+false-positive/detection behaviour the paper calibrates.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import all_boundary_conditions, stencil_library_2d, stencil_library_3d
+
+from repro.backends import (
+    Backend,
+    FusedBackend,
+    NumpyBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from repro.backends.registry import BUILTIN_DEFAULT, ENV_VAR
+from repro.core.checksums import checksum
+from repro.core.online import OnlineABFT
+from repro.core.thresholds import recommend_epsilon
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.stencil.boundary import BoundaryCondition
+from repro.stencil.grid import Grid2D, Grid3D
+from repro.stencil.shift import pad_array
+from repro.stencil.sweep import sweep_with_checksums
+
+REFERENCE = "numpy"
+
+SHAPE_2D = (24, 18)
+SHAPE_3D = (12, 10, 4)
+
+
+def _domain(rng, shape):
+    return (rng.random(shape) * 100.0).astype(np.float32)
+
+
+def _relative_mismatch(value, reference):
+    scale = np.maximum(np.abs(reference), 1.0)
+    return float(np.max(np.abs(value - reference) / scale))
+
+
+def _spec_id(spec):
+    return f"{spec.ndim}d-{spec.npoints}pt"
+
+
+@pytest.fixture(params=sorted(set(available_backends())))
+def backend_name(request):
+    return request.param
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "fused" in names
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+        assert isinstance(get_backend("fused"), FusedBackend)
+
+    def test_backends_are_singletons(self):
+        assert get_backend("fused") is get_backend("fused")
+
+    def test_reference_alias(self):
+        assert get_backend("reference") is get_backend("numpy")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("cuda-42")
+
+    def test_instance_passthrough(self):
+        be = NumpyBackend()
+        assert get_backend(be) is be
+
+    def test_default_resolution_chain(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        set_default_backend(None)
+        assert default_backend_name() == BUILTIN_DEFAULT
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert default_backend_name() == "numpy"
+        assert isinstance(get_backend(), NumpyBackend)
+        try:
+            set_default_backend("fused")  # override beats the env var
+            assert default_backend_name() == "fused"
+        finally:
+            set_default_backend(None)
+
+    def test_set_default_validates_name(self):
+        with pytest.raises(KeyError):
+            set_default_backend("no-such-backend")
+
+    def test_register_custom_backend(self):
+        class TracingBackend(NumpyBackend):
+            name = "tracing-test"
+
+        register_backend(TracingBackend())
+        try:
+            assert "tracing-test" in available_backends()
+            assert isinstance(get_backend("tracing-test"), TracingBackend)
+        finally:
+            from repro.backends.registry import _REGISTRY
+
+            _REGISTRY.pop("tracing-test", None)
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("spec", stencil_library_2d(), ids=_spec_id)
+    @pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+    def test_2d_matches_reference(self, rng, backend_name, spec, bc):
+        self._check_sweep(rng, backend_name, spec, bc, SHAPE_2D, constant=False)
+
+    @pytest.mark.parametrize("spec", stencil_library_3d(), ids=_spec_id)
+    @pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+    def test_3d_matches_reference(self, rng, backend_name, spec, bc):
+        self._check_sweep(rng, backend_name, spec, bc, SHAPE_3D, constant=True)
+
+    def _check_sweep(self, rng, backend_name, spec, bc, shape, constant):
+        u = _domain(rng, shape)
+        const = (
+            (rng.random(shape) * 0.1).astype(np.float32) if constant else None
+        )
+        radius = spec.radius()
+        padded = pad_array(u, radius, bc)
+        reference = get_backend(REFERENCE).sweep_padded(
+            padded, spec, radius, shape, constant=const
+        )
+        result = get_backend(backend_name).sweep_padded(
+            padded, spec, radius, shape, constant=const
+        )
+        eps = recommend_epsilon(shape, 0, np.float32, spec)
+        assert _relative_mismatch(result, reference) <= eps
+
+    def test_out_parameter_respected(self, rng, backend_name):
+        spec = stencil_library_2d()[0]
+        u = _domain(rng, SHAPE_2D)
+        padded = pad_array(u, spec.radius(), BoundaryCondition.clamp())
+        out = np.full(SHAPE_2D, np.nan, dtype=np.float32)
+        result = get_backend(backend_name).sweep_padded(
+            padded, spec, spec.radius(), SHAPE_2D, out=out
+        )
+        assert result is out
+        reference = get_backend(REFERENCE).sweep_padded(
+            padded, spec, spec.radius(), SHAPE_2D
+        )
+        np.testing.assert_allclose(out, reference, rtol=1e-6)
+
+    def test_out_shape_validated(self, rng, backend_name):
+        spec = stencil_library_2d()[0]
+        u = _domain(rng, SHAPE_2D)
+        padded = pad_array(u, spec.radius(), BoundaryCondition.clamp())
+        with pytest.raises(ValueError, match="out has shape"):
+            get_backend(backend_name).sweep_padded(
+                padded, spec, spec.radius(), SHAPE_2D, out=np.empty((3, 3), np.float32)
+            )
+
+
+class TestFusedChecksums:
+    @pytest.mark.parametrize(
+        "spec",
+        stencil_library_2d() + stencil_library_3d(),
+        ids=_spec_id,
+    )
+    @pytest.mark.parametrize("checksum_dtype", [np.float64, None], ids=["f64", "domain"])
+    def test_fused_checksums_match_posthoc(
+        self, rng, backend_name, spec, checksum_dtype
+    ):
+        shape = SHAPE_2D if spec.ndim == 2 else SHAPE_3D
+        u = _domain(rng, shape)
+        radius = spec.radius()
+        padded = pad_array(u, radius, BoundaryCondition.clamp())
+        new, cs = get_backend(backend_name).sweep_with_checksums(
+            padded, spec, radius, shape, (0, 1), checksum_dtype=checksum_dtype
+        )
+        assert set(cs) == {0, 1}
+        for axis in (0, 1):
+            posthoc = checksum(new, axis, dtype=checksum_dtype)
+            eps = recommend_epsilon(shape, axis, np.float32, spec)
+            assert _relative_mismatch(cs[axis], posthoc) <= eps
+
+    def test_sweep_with_checksums_dispatcher(self, rng, backend_name):
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, SHAPE_2D)
+        padded = pad_array(u, spec.radius(), BoundaryCondition.clamp())
+        new, cs = sweep_with_checksums(
+            padded, spec, spec.radius(), SHAPE_2D, (0,), backend=backend_name
+        )
+        np.testing.assert_array_equal(cs[0], checksum(new, 0, dtype=None))
+
+
+class TestGridAndProtectorAcrossBackends:
+    def test_grid_runs_are_equivalent(self, rng, backend_name):
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, SHAPE_2D)
+        ref = Grid2D(u, spec, BoundaryCondition.clamp(), backend=REFERENCE)
+        ref.run(8)
+        other = Grid2D(u, spec, BoundaryCondition.clamp(), backend=backend_name)
+        other.run(8)
+        eps = recommend_epsilon(SHAPE_2D, 0, np.float32, spec)
+        assert _relative_mismatch(other.u, ref.u) <= eps
+
+    def test_grid_step_with_checksums_records_last(self, rng, backend_name):
+        spec = stencil_library_3d()[0]
+        u = _domain(rng, SHAPE_3D)
+        grid = Grid3D(u, spec, BoundaryCondition.clamp(), backend=backend_name)
+        new, cs = grid.step_with_checksums((0,), checksum_dtype=np.float64)
+        assert grid.last_checksums is cs
+        np.testing.assert_array_equal(cs[0], checksum(new, 0, dtype=np.float64))
+        grid.step()
+        assert grid.last_checksums is None
+
+    def test_online_abft_detects_and_corrects_on_every_backend(
+        self, rng, backend_name
+    ):
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, (32, 28))
+        grid = Grid2D(u, spec, BoundaryCondition.clamp(), backend=backend_name)
+        protector = OnlineABFT.for_grid(grid, backend=backend_name)
+        inject = FaultInjector([FaultPlan(iteration=5, index=(10, 12), bit=27)])
+        report = protector.run(grid, 12, inject=inject)
+        assert report.total_detected >= 1
+        assert report.total_corrected >= 1
+
+    def test_online_abft_clean_run_no_false_positives(self, rng, backend_name):
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, (32, 28))
+        grid = Grid2D(u, spec, BoundaryCondition.clamp(), backend=backend_name)
+        protector = OnlineABFT.for_grid(grid, backend=backend_name)
+        report = protector.run(grid, 10)
+        assert report.total_detected == 0
+
+    def test_fused_and_reference_protected_runs_agree(self, rng):
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, (32, 28))
+        finals = {}
+        for name in (REFERENCE, "fused"):
+            grid = Grid2D(u, spec, BoundaryCondition.clamp(), backend=name)
+            OnlineABFT.for_grid(grid, backend=name).run(grid, 10)
+            finals[name] = grid.u
+        np.testing.assert_array_equal(finals[REFERENCE], finals["fused"])

@@ -51,6 +51,15 @@ class TestExecutors:
         with pytest.raises(ValueError):
             make_executor("mpi")
 
+    def test_none_workers_uses_cpu_count(self):
+        import os
+
+        expected = max(1, os.cpu_count() or 1)
+        assert ThreadPoolTileExecutor(workers=None).workers == expected
+        assert ThreadPoolTileExecutor().workers == expected
+        assert make_executor("threads").workers == expected
+        assert make_executor("threads", workers=None).workers == expected
+
 
 class TestPaddedTileView:
     def test_interior_tile_halo_holds_neighbor_data(self, rng):
