@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Compare compute backends on an OnlineABFT-protected stencil run.
+"""Compare compute backends and tile executors on ABFT-protected runs.
 
 For every requested backend this benchmark times the paper's hot loop —
 sweep + checksum verification under :class:`repro.core.online.OnlineABFT`
@@ -9,22 +9,33 @@ and cross-checks that every backend's results and checksums stay within
 ``recommend_epsilon`` of the ``numpy`` reference across the whole
 stencil-kernel library.
 
+It additionally verifies the zero-copy halo pipeline with ``tracemalloc``
+(the fused backend must perform **zero** full-domain allocations per
+protected iteration — the double-buffered grids sweep in place), compares
+the serial/thread/process tile executors on a protected tiled run, checks
+the executors produce bit-identical domains and detections under fault
+injection, and emits every measurement as machine-readable JSON
+(``BENCH_backends.json``) so the perf trajectory is tracked across PRs.
+
 Usage::
 
     python benchmarks/bench_backends.py                 # full comparison
-    python benchmarks/bench_backends.py --smoke         # CI gate: exit 1
-                                                        # if fused is not
-                                                        # faster than numpy
-    python benchmarks/bench_backends.py --size 2048 --iters 20
+    python benchmarks/bench_backends.py --smoke         # CI gate: exit 1 if
+                                                        # fused is slower than
+                                                        # numpy or allocates a
+                                                        # full domain per iter
+    python benchmarks/bench_backends.py --size 2048 --iters 20 --exec-workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import statistics
 import sys
 import time
+import tracemalloc
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
@@ -35,12 +46,22 @@ import numpy as np
 from repro.backends import available_backends, get_backend
 from repro.core.online import OnlineABFT
 from repro.core.thresholds import recommend_epsilon
+from repro.parallel.executor import make_executor, resolve_workers
+from repro.parallel.runner import TiledStencilRunner
 from repro.stencil.boundary import BoundaryCondition
 from repro.stencil.grid import Grid2D
 from repro.stencil.kernels import five_point_diffusion
 from repro.stencil.shift import pad_array
 
 REFERENCE = "numpy"
+DEFAULT_JSON = "BENCH_backends.json"
+
+#: Fixed transient footprint of the protector itself (checksum vectors,
+#: interpolation strips, detection buffers) — measured flat at ~85-100 KB
+#: from 128^2 to 1024^2 domains.  The allocation gate subtracts this
+#: allowance so a small benchmark domain is not mislabelled as a
+#: full-domain temporary.
+ALLOC_OVERHEAD_ALLOWANCE = 256 * 1024
 
 
 def build_grid(size: int, backend: str) -> Grid2D:
@@ -84,6 +105,112 @@ def time_raw_sweep(backend: str, size: int, iters: int, repeats: int) -> float:
             grid.step()
         samples.append((time.perf_counter() - start) / iters * 1000.0)
     return statistics.median(samples)
+
+
+def measure_allocations(backend: str, size: int, iters: int = 5) -> dict:
+    """Tracemalloc profile of the protected hot loop.
+
+    Measures the *peak* allocation growth across ``iters`` protected
+    steps after warm-up.  A full-domain temporary (the old per-iteration
+    ``pad_array`` copy, or the reference backend's per-point products)
+    bumps the peak by at least one domain worth of bytes; the
+    double-buffered zero-copy pipeline only allocates O(edge) checksum
+    vectors, orders of magnitude below it.
+    """
+    grid = build_grid(size, backend)
+    protector = OnlineABFT.for_grid(grid, backend=backend)
+    # Warm up everything that legitimately allocates once: the buffer
+    # pair's first ghost refresh, scratch buffers, initial checksums.
+    protector.step(grid)
+    protector.step(grid)
+    domain_bytes = int(grid.u.nbytes)
+    tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    for _ in range(iters):
+        protector.step(grid)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    peak_delta = max(0, int(peak) - int(baseline))
+    # The peak is a high-water mark (not a sum over iterations): any
+    # full-domain temporary alive at any instant raises it by at least
+    # one domain worth of bytes, however briefly it existed.  The fixed
+    # protector overhead is subtracted so the verdict scales down to
+    # small domains without false positives.
+    domain_scale = max(0, peak_delta - ALLOC_OVERHEAD_ALLOWANCE)
+    return {
+        "domain_bytes": domain_bytes,
+        "peak_alloc_bytes": peak_delta,
+        "full_domain_allocs": int(round(domain_scale / domain_bytes)),
+        "zero_full_domain_allocs": bool(domain_scale < domain_bytes // 2),
+    }
+
+
+def _injection_signature(executor, size: int = 96) -> dict:
+    """Digest of a small fault-injected tiled run under one executor.
+
+    Used to check the executor pipelines are semantically identical: the
+    final domain must be bit-identical to the serial path and the
+    detection/correction counts must match.  The caller's executor (and
+    its warm pool) is reused and stays alive.
+    """
+    import hashlib
+
+    def inject(grid, iteration):
+        if iteration == 3:
+            grid.u[size // 3, size // 2] += 4096.0
+
+    grid = build_grid(size, "fused")
+    runner = TiledStencilRunner.with_online_abft(
+        grid, (2, 2), executor=executor, epsilon=1e-5
+    )
+    try:
+        runner.run(6, inject=inject)
+        return {
+            "domain_sha": hashlib.sha256(grid.u.tobytes()).hexdigest(),
+            "detected": runner.total_detected(),
+            "corrected": runner.total_corrected(),
+        }
+    finally:
+        runner.shutdown()  # releases shm migration; executor stays alive
+
+
+def compare_executors(size: int, iters: int, workers) -> dict:
+    """Protected tiled-run timing + injection equivalence per executor.
+
+    One executor (and pool) per kind serves both the timing run and the
+    injection-equivalence check.
+    """
+    workers = resolve_workers(workers)
+    results: dict = {"workers": workers, "tile_parts": [2, 2], "kinds": {}}
+    serial_sig = None
+    for kind in ("serial", "threads", "process"):
+        executor = make_executor(kind, workers=workers)
+        try:
+            grid = build_grid(size, "fused")
+            runner = TiledStencilRunner.with_online_abft(
+                grid, (2, 2), executor=executor, epsilon=1e-5
+            )
+            try:
+                runner.step()  # warm-up: pools, shared-memory migration
+                start = time.perf_counter()
+                for _ in range(iters):
+                    runner.step()
+                elapsed_ms = (time.perf_counter() - start) / iters * 1000.0
+            finally:
+                runner.shutdown()
+            sig = _injection_signature(executor)
+        finally:
+            executor.shutdown()
+        if kind == "serial":
+            serial_sig = sig
+        results["kinds"][kind] = {
+            "ms_per_iter": elapsed_ms,
+            "injection_matches_serial": sig == serial_sig,
+            "detected": sig["detected"],
+            "corrected": sig["corrected"],
+        }
+    return results
 
 
 def check_equivalence(backends, verbose: bool = True) -> float:
@@ -151,11 +278,36 @@ def main(argv=None) -> int:
         help="backends to compare (default: all registered)",
     )
     parser.add_argument(
+        "--exec-size",
+        type=int,
+        default=None,
+        help="domain edge length for the executor comparison "
+        "(default: --size; the acceptance configuration is 2048)",
+    )
+    parser.add_argument(
+        "--exec-workers",
+        type=int,
+        default=None,
+        help="worker count for thread/process executors (default: all cores)",
+    )
+    parser.add_argument(
+        "--skip-executors",
+        action="store_true",
+        help="skip the executor comparison section",
+    )
+    parser.add_argument(
+        "--json",
+        default=DEFAULT_JSON,
+        help=f"machine-readable results file (default: {DEFAULT_JSON})",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help=(
-            "CI mode: fewer iterations, and exit non-zero if the fused "
-            "backend is not faster than the numpy reference"
+            "CI mode: fewer iterations, small executor domain, and exit "
+            "non-zero if the fused backend is slower than the numpy "
+            "reference or performs any full-domain allocation per "
+            "protected iteration"
         ),
     )
     args = parser.parse_args(argv)
@@ -163,6 +315,10 @@ def main(argv=None) -> int:
     if args.smoke:
         args.iters = min(args.iters, 10)
         args.repeats = max(args.repeats, 5)  # min-of-5 keeps the gate stable
+        if args.exec_size is None:
+            args.exec_size = 256  # equivalence matters here, not timing
+    if args.exec_size is None:
+        args.exec_size = args.size
 
     if args.backends is None:
         # Canonical names only (aliases point at the same instances).
@@ -178,6 +334,20 @@ def main(argv=None) -> int:
     if REFERENCE not in names:
         names.insert(0, REFERENCE)
 
+    report = {
+        "config": {
+            "size": args.size,
+            "iters": args.iters,
+            "repeats": args.repeats,
+            "exec_size": args.exec_size,
+            "cpu_count": os.cpu_count(),
+            "smoke": bool(args.smoke),
+        },
+        "backends": {},
+        "executors": None,
+        "gates": {},
+    }
+
     print(
         f"Backend comparison: {args.size}x{args.size} float32 five-point "
         f"diffusion, OnlineABFT-protected ({args.iters} iters, "
@@ -192,22 +362,98 @@ def main(argv=None) -> int:
     print()
 
     results = {}
-    header = f"{'backend':10s} {'sweep ms':>10s} {'abft ms':>10s} {'overhead':>9s} {'vs numpy':>9s}"
+    header = (
+        f"{'backend':10s} {'sweep ms':>10s} {'abft ms':>10s} {'overhead':>9s} "
+        f"{'vs numpy':>9s} {'peak alloc':>12s}"
+    )
     print(header)
     print("-" * len(header))
     for name in names:
         raw = time_raw_sweep(name, args.size, args.iters, args.repeats)
         protected, best = time_protected_run(name, args.size, args.iters, args.repeats)
-        results[name] = (raw, protected, best)
+        alloc = measure_allocations(name, args.size)
+        results[name] = (raw, protected, best, alloc)
     ref_protected = results[REFERENCE][1]
     for name in names:
-        raw, protected, _ = results[name]
+        raw, protected, best, alloc = results[name]
         overhead = (protected / raw - 1.0) * 100.0
         speedup = ref_protected / protected
+        peak = alloc["peak_alloc_bytes"]
         print(
-            f"{name:10s} {raw:10.3f} {protected:10.3f} {overhead:8.1f}% {speedup:8.2f}x"
+            f"{name:10s} {raw:10.3f} {protected:10.3f} {overhead:8.1f}% "
+            f"{speedup:8.2f}x {peak:10d} B"
         )
+        report["backends"][name] = {
+            "sweep_ms": raw,
+            "abft_ms_median": protected,
+            "abft_ms_best": best,
+            "abft_overhead_pct": overhead,
+            "speedup_vs_reference": speedup,
+            "alloc": alloc,
+        }
+    print()
 
+    # -- allocation-regression gate -----------------------------------------
+    fused_alloc = results.get("fused", (None,) * 4)[3]
+    alloc_gate = None
+    if fused_alloc is not None:
+        alloc_gate = fused_alloc["zero_full_domain_allocs"]
+        domain_mb = fused_alloc["domain_bytes"] / 1e6
+        peak_kb = fused_alloc["peak_alloc_bytes"] / 1e3
+        if alloc_gate:
+            print(
+                f"fused backend performs zero full-domain allocations per "
+                f"protected iteration (peak transient {peak_kb:.1f} KB vs "
+                f"{domain_mb:.1f} MB domain, tracemalloc)"
+            )
+        else:
+            print(
+                f"FAIL: fused backend allocated "
+                f"{fused_alloc['full_domain_allocs']} full-domain "
+                f"temporaries across the loop (peak {peak_kb:.1f} KB, "
+                f"domain {domain_mb:.1f} MB)"
+            )
+    report["gates"]["fused_zero_full_domain_allocs"] = alloc_gate
+
+    # -- executor comparison ------------------------------------------------
+    exec_ok = True
+    if not args.skip_executors:
+        print()
+        workers = resolve_workers(args.exec_workers)
+        print(
+            f"Executor comparison: {args.exec_size}x{args.exec_size} fused "
+            f"OnlineABFT tiled 2x2, {workers} workers"
+        )
+        exec_results = compare_executors(
+            args.exec_size, max(3, args.iters // 3), args.exec_workers
+        )
+        report["executors"] = exec_results
+        for kind, row in exec_results["kinds"].items():
+            match = "ok" if row["injection_matches_serial"] else "MISMATCH"
+            print(
+                f"  {kind:8s} {row['ms_per_iter']:10.3f} ms/iter   "
+                f"injection vs serial: {match} "
+                f"(detected {row['detected']}, corrected {row['corrected']})"
+            )
+            exec_ok = exec_ok and row["injection_matches_serial"]
+        proc = exec_results["kinds"]["process"]["ms_per_iter"]
+        thr = exec_results["kinds"]["threads"]["ms_per_iter"]
+        report["gates"]["process_beats_threads"] = proc < thr
+        report["gates"]["executors_match_serial_under_injection"] = exec_ok
+        if proc < thr:
+            print(
+                f"  process executor beats threads: {proc:.3f} < {thr:.3f} "
+                f"ms/iter"
+            )
+        else:
+            print(
+                f"  note: process executor ({proc:.3f} ms) did not beat "
+                f"threads ({thr:.3f} ms) here — expected on few-core hosts; "
+                f"informative only, the gate is the injection equivalence"
+            )
+
+    # -- speed gate ----------------------------------------------------------
+    speed_fail = False
     if "fused" in results:
         # Gate on the per-backend minimum: the fastest sample is the one
         # least distorted by scheduler noise, which matters on shared CI
@@ -216,6 +462,7 @@ def main(argv=None) -> int:
         # "actually slower" (fail).
         fused_best = results["fused"][2]
         ref_best = results[REFERENCE][2]
+        report["gates"]["fused_faster_than_numpy"] = fused_best < ref_best
         if fused_best < ref_best:
             print(
                 f"\nfused backend beats the {REFERENCE} reference: "
@@ -233,8 +480,21 @@ def main(argv=None) -> int:
                 f"\nFAIL: fused backend ({fused_best:.3f} ms) is >5% slower than "
                 f"the {REFERENCE} reference ({ref_best:.3f} ms)"
             )
-            if args.smoke:
-                return 1
+            speed_fail = True
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nmachine-readable results written to {args.json}")
+
+    if args.smoke:
+        if alloc_gate is False:
+            return 1
+        if not exec_ok:
+            return 1
+        if speed_fail:
+            return 1
     return 0
 
 

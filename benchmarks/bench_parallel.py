@@ -12,7 +12,12 @@ from repro.baselines.tmr import TMRProtector
 from repro.core.online import OnlineABFT
 from repro.core.protector import NoProtection
 from repro.experiments.common import make_hotspot_app
-from repro.parallel.executor import SerialExecutor, ThreadPoolTileExecutor
+from repro.parallel.executor import (
+    ProcessPoolTileExecutor,
+    SerialExecutor,
+    ThreadPoolTileExecutor,
+    resolve_workers,
+)
 from repro.parallel.runner import TiledStencilRunner
 
 TILE = (64, 64, 8)
@@ -39,14 +44,27 @@ def test_tiled_serial_step(benchmark):
 
 
 def test_tiled_threads_step(benchmark):
-    executor = ThreadPoolTileExecutor(workers=8)
+    workers = resolve_workers(None)
+    executor = ThreadPoolTileExecutor(workers=workers)
     runner = _runner(executor)
     benchmark.group = "parallel-step"
-    benchmark.name = "per-layer-abft-8threads"
+    benchmark.name = f"per-layer-abft-{workers}threads"
     try:
         benchmark(lambda: runner.step())
     finally:
         executor.shutdown()
+
+
+def test_tiled_processes_step(benchmark):
+    workers = resolve_workers(None)
+    executor = ProcessPoolTileExecutor(workers=workers)
+    runner = _runner(executor)
+    benchmark.group = "parallel-step"
+    benchmark.name = f"per-layer-abft-{workers}procs-shm"
+    try:
+        benchmark(lambda: runner.step())
+    finally:
+        runner.shutdown()
 
 
 def test_tiled_unprotected_step(benchmark):

@@ -15,6 +15,12 @@ ship built in:
     call as the sweep (cache-hot reduction), mirroring the paper's fused
     float32 kernel.  Bitwise-identical results to ``numpy``.
 
+Both built-ins also implement the zero-copy ``sweep_into`` primitive
+(write the new step directly into the interior of a second persistent
+padded buffer), which the double-buffered grids use to eliminate the
+former per-iteration full-domain copy; backends that only provide
+``sweep_padded`` fall back to sweep-then-copy transparently.
+
 Select a backend with the ``backend=`` keyword accepted throughout the
 stack (grids, sweeps, protectors, the tiled runner), the
 ``REPRO_BACKEND`` environment variable, or the CLI's ``--backend`` flag.

@@ -14,6 +14,15 @@ reproduction is built on:
     vector(s) of the freshly computed interior, mirroring the paper's
     fused kernel where the checksum is accumulated by the sweep itself
     rather than by a separate post-hoc pass over the domain.
+``sweep_into`` / ``sweep_into_with_checksums``
+    The *zero-copy* forms used by the double-buffered grids: the sweep
+    reads one persistent padded buffer and writes the new interior
+    straight into the interior block of a second padded buffer, so no
+    full-domain array is allocated per iteration.  The base class
+    provides a copy-based fallback (sweep to a fresh array, then copy
+    into the destination interior) so a third-party backend that only
+    implements ``sweep_padded`` keeps working; the built-in backends
+    override it to write in place.
 
 All backends must agree numerically with the ``numpy`` reference within
 the detection threshold recommended by
@@ -166,6 +175,84 @@ class Backend(ABC):
             for axis in axes
         }
         return new, checksums
+
+    @staticmethod
+    def _dst_interior(
+        dst_padded: np.ndarray, radius, interior_shape: Sequence[int]
+    ) -> np.ndarray:
+        """Validated interior view of the destination padded buffer."""
+        from repro.stencil.shift import interior_view, normalize_radius
+
+        radius = normalize_radius(radius, dst_padded.ndim)
+        interior_shape = tuple(int(n) for n in interior_shape)
+        expected = tuple(
+            n + 2 * r for n, r in zip(interior_shape, radius)
+        )
+        if dst_padded.shape != expected:
+            raise ValueError(
+                f"dst_padded has shape {dst_padded.shape}, expected {expected} "
+                f"(interior {interior_shape}, radius {radius})"
+            )
+        return interior_view(dst_padded, radius)
+
+    def sweep_into(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One sweep from ``src_padded`` into the interior of ``dst_padded``.
+
+        This is the zero-copy primitive of the double-buffered pipeline:
+        the new step is materialised inside the destination padded buffer
+        (whose ghost cells are refreshed separately, before the *next*
+        sweep reads it), so stepping allocates no full-domain array.
+
+        The base implementation is the **copy-based fallback**: it runs
+        ``sweep_padded`` into a fresh array and copies the result into
+        the destination interior.  That is always safe — including when
+        ``src_padded`` and ``dst_padded`` overlap — and keeps minimal
+        third-party backends working unchanged.  Optimised backends
+        override this to pass the destination interior as ``out``.
+
+        Returns the destination interior view.
+        """
+        interior = self._dst_interior(dst_padded, radius, interior_shape)
+        new = self.sweep_padded(
+            src_padded, spec, radius, interior_shape, constant=constant
+        )
+        if new is not interior:
+            interior[...] = new
+        return interior
+
+    def sweep_into_with_checksums(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        axes: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+    ) -> Tuple[np.ndarray, ChecksumMap]:
+        """Fused form of :meth:`sweep_into`: also checksum the new interior.
+
+        The checksums are reduced from the freshly written (cache-hot)
+        destination interior, exactly as ``sweep_with_checksums`` does
+        for the allocating path.
+        """
+        interior = self.sweep_into(
+            src_padded, dst_padded, spec, radius, interior_shape, constant=constant
+        )
+        checksums: ChecksumMap = {
+            int(axis): self.checksum(interior, int(axis), dtype=checksum_dtype)
+            for axis in axes
+        }
+        return interior, checksums
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -111,3 +111,30 @@ class FusedBackend(Backend):
                 np.multiply(view, w, out=scratch)
                 np.add(out, scratch, out=out)
         return out
+
+    def sweep_into(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Zero-copy sweep: accumulate directly into the destination interior.
+
+        Combined with the scratch-buffer accumulation of
+        :meth:`sweep_padded`, a double-buffered step performs **no**
+        full-domain allocation at all — the acceptance property the
+        benchmark's tracemalloc gate verifies.
+        """
+        interior = self._dst_interior(dst_padded, radius, interior_shape)
+        if np.may_share_memory(src_padded, dst_padded):
+            return super().sweep_into(
+                src_padded, dst_padded, spec, radius, interior_shape,
+                constant=constant,
+            )
+        return self.sweep_padded(
+            src_padded, spec, radius, interior_shape, constant=constant,
+            out=interior,
+        )

@@ -24,6 +24,28 @@ class NumpyBackend(Backend):
 
     name = "numpy"
 
+    def sweep_into(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        interior = self._dst_interior(dst_padded, radius, interior_shape)
+        if np.may_share_memory(src_padded, dst_padded):
+            # Writing the interior while the sweep still reads the source
+            # would corrupt the accumulation; take the copy-based route.
+            return super().sweep_into(
+                src_padded, dst_padded, spec, radius, interior_shape,
+                constant=constant,
+            )
+        return self.sweep_padded(
+            src_padded, spec, radius, interior_shape, constant=constant,
+            out=interior,
+        )
+
     def sweep_padded(
         self,
         padded: np.ndarray,

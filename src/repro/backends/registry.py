@@ -12,6 +12,12 @@ given:
 Backends are singletons: ``get_backend("fused")`` always returns the
 same instance, so per-backend caches (e.g. the fused backend's scratch
 buffers) are shared across the process.
+
+The process-pool tile executor resolves backends **by name inside each
+worker process** (see :mod:`repro.parallel.shm`): instances cannot cross
+the process boundary, so a custom backend must be registered at import
+time — module level of an imported package — for worker processes to
+find it.  Unregistered instances still work everywhere in-process.
 """
 
 from __future__ import annotations

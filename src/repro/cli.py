@@ -15,9 +15,11 @@ Regenerates the paper's tables and figures from the command line::
 (hours of compute in pure NumPy); ``--scale smoke`` is the tiny
 configuration used by the test suite. Every experiment accepts
 ``--backend`` to pick the compute backend (overriding the
-``REPRO_BACKEND`` environment variable); ``backends`` lists what is
-registered. The same entry point is installed as the ``repro`` (and
-``repro-abft``) console script by ``pip install -e .``.
+``REPRO_BACKEND`` environment variable) and ``--executor``/``--workers``
+to pick the tile executor (overriding ``REPRO_EXECUTOR``); ``backends``
+and ``executors`` list what is available. The same entry point is
+installed as the ``repro`` (and ``repro-abft``) console script by
+``pip install -e .``.
 """
 
 from __future__ import annotations
@@ -31,6 +33,13 @@ from repro.backends import (
     default_backend_name,
     get_backend,
     set_default_backend,
+)
+from repro.parallel.executor import (
+    available_executors,
+    default_executor_kind,
+    resolve_workers,
+    set_default_executor,
+    set_default_workers,
 )
 from repro.experiments import (
     EvaluationScale,
@@ -103,9 +112,27 @@ def build_parser() -> argparse.ArgumentParser:
                 "REPRO_BACKEND environment variable, else 'fused')"
             ),
         )
+        sub.add_argument(
+            "--executor",
+            choices=available_executors(),
+            default=None,
+            help=(
+                "tile executor for parallel runs (default: the "
+                "REPRO_EXECUTOR environment variable, else 'serial')"
+            ),
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker count for thread/process executors (default: all cores)",
+        )
 
     subparsers.add_parser(
         "backends", help="list the registered compute backends"
+    )
+    subparsers.add_parser(
+        "executors", help="list the available tile executors"
     )
     return parser
 
@@ -130,6 +157,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:12s} -> {type(backend).__name__}{marker}")
         return 0
 
+    if args.command == "executors":
+        default = default_executor_kind()
+        descriptions = {
+            "serial": "tiles swept one after another in the calling thread",
+            "threads": "thread pool (NumPy kernels release the GIL)",
+            "process": "process pool over multiprocessing.shared_memory",
+        }
+        for kind in available_executors():
+            marker = " (default)" if kind == default else ""
+            print(f"{kind:12s} -> {descriptions[kind]}{marker}")
+        print(f"workers default: {resolve_workers(None)} (os.cpu_count)")
+        return 0
+
+    if args.executor is not None:
+        set_default_executor(args.executor)
+    if args.workers is not None:
+        set_default_workers(args.workers)
     if args.backend is not None:
         set_default_backend(args.backend)
     else:

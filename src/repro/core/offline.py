@@ -177,6 +177,10 @@ class OfflineABFT(Protector):
         return be.checksum(u, self.verify_axis, dtype=self.checksum_dtype)
 
     def _record_strips(self, grid: GridBase) -> None:
+        # ``previous_padded`` is a live view into the grid's buffer pair
+        # and will be overwritten by the next sweep; extract_delta_strips
+        # reduces it into small freshly allocated vectors, so the strips
+        # stored across the detection window never alias the buffers.
         if not self.track_strips:
             self._strips.append({})
             return

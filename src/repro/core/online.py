@@ -106,6 +106,13 @@ class OnlineABFT(Protector):
     injection semantics ("after the stencil point ... has been updated");
     a checksum fused into the sweep would otherwise be blind to a fault
     landing between the sweep and the verification.
+
+    Both paths are compatible with the grids' in-place buffer pair: the
+    verified checksum always reflects the buffer contents at verification
+    time (fused checksums are produced *by* the write into the buffer;
+    the injection path re-reduces the buffer after the hook mutated it),
+    and corrections write back through ``grid.u`` into the same buffer
+    the next sweep's ghost refresh re-reads.
     """
 
     name = "online-abft"
@@ -242,9 +249,23 @@ class OnlineABFT(Protector):
         produced by a fused sweep (``{axis: vector}``); any axis present
         is trusted instead of being recomputed here, so callers must only
         pass checksums that reflect ``u_new``'s current contents.
+
+        With the double-buffered grids both arguments are live views into
+        the persistent buffer pair: ``u_new`` into the front buffer the
+        sweep just filled, ``padded_prev`` into the buffer the *next*
+        sweep will overwrite.  They therefore must be read (and ``u_new``
+        corrected) before the next step — which is exactly when the
+        protectors run — and must never alias each other; the guard below
+        rejects a caller that hands the same buffer for both.
         """
         from repro.stencil.shift import interior_view
 
+        if np.may_share_memory(u_new, padded_prev):
+            raise ValueError(
+                "u_new aliases padded_prev: the new step must live in a "
+                "different buffer than the padded previous step (did the "
+                "double-buffer swap go missing?)"
+            )
         verify, other = self.verify_axis, self.other_axis
         if self._prev_cs[verify] is None:
             self._prev_cs[verify] = self._checksum(

@@ -8,10 +8,12 @@ communication beyond the halo exchange the stencil needs anyway.
 
 This subpackage exercises that property in two settings:
 
-``decomposition`` / ``executor`` / ``runner``
+``decomposition`` / ``executor`` / ``runner`` / ``shm``
     Shared-memory tiling: the global domain is split into tiles, each
-    tile is swept (serially or on a thread pool) from a ghost-padded
-    view of the global domain and verified by its own independent
+    tile is swept (serially, on a thread pool, or on a process pool
+    attached to the domain through ``multiprocessing.shared_memory``)
+    from a ghost-padded view of the global buffer pair, writes its new
+    interior in place, and is verified by its own independent
     :class:`~repro.core.online.OnlineABFT` instance.
 
 ``simmpi``
@@ -23,7 +25,16 @@ This subpackage exercises that property in two settings:
 """
 
 from repro.parallel.decomposition import TileBox, partition_extent, decompose, decompose_layers
-from repro.parallel.executor import SerialExecutor, ThreadPoolTileExecutor, make_executor
+from repro.parallel.executor import (
+    ProcessPoolTileExecutor,
+    SerialExecutor,
+    ThreadPoolTileExecutor,
+    available_executors,
+    default_executor_kind,
+    make_executor,
+    resolve_workers,
+    set_default_executor,
+)
 from repro.parallel.halo import padded_tile_view, tile_constant
 from repro.parallel.runner import TiledStencilRunner
 from repro.parallel.simmpi import SimChannel, SimRank, DistributedStencilRunner
@@ -35,7 +46,12 @@ __all__ = [
     "decompose_layers",
     "SerialExecutor",
     "ThreadPoolTileExecutor",
+    "ProcessPoolTileExecutor",
     "make_executor",
+    "available_executors",
+    "default_executor_kind",
+    "set_default_executor",
+    "resolve_workers",
     "padded_tile_view",
     "tile_constant",
     "TiledStencilRunner",

@@ -1,33 +1,112 @@
-"""Executors that run per-tile work serially or on a thread pool.
+"""Executors that run per-tile work serially, on threads or on processes.
 
 NumPy releases the GIL inside its array kernels, so a thread pool gives
 genuine concurrency for the memory-bound sweeps of large tiles; for tiny
-tiles the serial executor avoids the dispatch overhead. Both expose the
-same ``map`` interface so the tiled runner is executor-agnostic.
+tiles the serial executor avoids the dispatch overhead; and for runs
+where the per-tile Python dispatch itself becomes the bottleneck the
+process pool sidesteps the GIL entirely, exchanging data with the
+workers through ``multiprocessing.shared_memory`` (see
+:mod:`repro.parallel.shm`) so the domain is never copied or pickled.
+
+All executors expose the same ``map`` interface; the process executor
+additionally exposes ``map_tiles`` (shared-memory tile tasks), which the
+tiled runner uses automatically when available.
+
+Selection mirrors the backend registry: ``make_executor(None)`` resolves
+through the process-wide default installed by :func:`set_default_executor`
+(what the ``--executor`` CLI flag sets), then the ``REPRO_EXECUTOR``
+environment variable, then ``"serial"``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["SerialExecutor", "ThreadPoolTileExecutor", "make_executor"]
+__all__ = [
+    "EXECUTOR_ENV_VAR",
+    "WORKERS_ENV_VAR",
+    "BUILTIN_DEFAULT_EXECUTOR",
+    "resolve_workers",
+    "set_default_workers",
+    "SerialExecutor",
+    "ThreadPoolTileExecutor",
+    "ProcessPoolTileExecutor",
+    "make_executor",
+    "available_executors",
+    "set_default_executor",
+    "default_executor_kind",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Environment variable consulted for the default executor kind.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
 
-def _resolve_workers(workers: Optional[int]) -> int:
-    """``None`` → all available cores (never fewer than 1)."""
+#: Environment variable consulted for the default worker count.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Executor used when neither the process default nor the env var is set.
+BUILTIN_DEFAULT_EXECUTOR = "serial"
+
+_DEFAULT_EXECUTOR_OVERRIDE: Optional[str] = None
+_DEFAULT_WORKERS_OVERRIDE: Optional[int] = None
+
+_KIND_ALIASES = {
+    "serial": "serial",
+    "threads": "threads",
+    "thread": "threads",
+    "threadpool": "threads",
+    "process": "process",
+    "processes": "process",
+    "processpool": "process",
+    "shm": "process",
+}
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve a worker count; never returns fewer than 1.
+
+    ``None`` resolves through the process-wide default installed by
+    :func:`set_default_workers` (what the ``--workers`` CLI flag sets),
+    then the ``REPRO_WORKERS`` environment variable, then
+    ``os.cpu_count()``.  An explicit count below 1 raises (defaults are
+    clamped, explicit requests are validated).  This is the single place
+    worker counts are interpreted — executors, runners and benchmarks
+    all call it, so ``workers=None`` means the same thing everywhere.
+    """
     if workers is None:
+        if _DEFAULT_WORKERS_OVERRIDE is not None:
+            return max(1, _DEFAULT_WORKERS_OVERRIDE)
+        env = os.environ.get(WORKERS_ENV_VAR)
+        if env is not None:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
         return max(1, os.cpu_count() or 1)
-    return int(workers)
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Install (or with ``None`` clear) the process-wide default worker count."""
+    global _DEFAULT_WORKERS_OVERRIDE
+    if workers is not None and int(workers) < 1:
+        raise ValueError("workers must be >= 1")
+    _DEFAULT_WORKERS_OVERRIDE = None if workers is None else int(workers)
 
 
 class SerialExecutor:
     """Run tile tasks one after another in the calling thread."""
 
+    kind = "serial"
     workers = 1
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
@@ -55,11 +134,10 @@ class ThreadPoolTileExecutor:
         (``os.cpu_count()``).
     """
 
+    kind = "threads"
+
     def __init__(self, workers: Optional[int] = None) -> None:
-        workers = _resolve_workers(workers)
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        self.workers = workers
+        self.workers = resolve_workers(workers)
         self._pool: Optional[ThreadPoolExecutor] = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -84,14 +162,115 @@ class ThreadPoolTileExecutor:
         self.shutdown()
 
 
-def make_executor(kind: str = "serial", workers: Optional[int] = None):
-    """Build an executor by name (``"serial"`` or ``"threads"``).
+class ProcessPoolTileExecutor:
+    """Run tile tasks on a pool of worker *processes* over shared memory.
 
-    ``workers=None`` sizes the thread pool to ``os.cpu_count()`` so
-    callers no longer need to hardcode a worker count.
+    Unlike the thread pool, worker processes hold no Python objects in
+    common with the parent, so the tiled runner routes work to them as
+    :class:`~repro.parallel.shm.TileTask` descriptors: the global domain
+    lives in ``multiprocessing.shared_memory`` (the grid's buffer pair is
+    migrated there once, see ``GridBase.share_buffers``), each task names
+    the shared blocks and the tile's slice bounds, and only the per-tile
+    fused checksum vectors travel back over the pipe.  The per-tile ABFT
+    protectors stay in the parent, reducing those checksums exactly as
+    the serial path does.
+
+    ``map`` is also provided for plain picklable functions, so the
+    executor satisfies the generic executor contract.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``None`` uses every available core.
     """
-    if kind == "serial":
+
+    kind = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            from repro.parallel.shm import worker_init
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=worker_init
+            )
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply a picklable ``fn`` to every item across the worker pool."""
+        pool = self._ensure_pool()
+        return list(pool.map(fn, items))
+
+    def map_tiles(self, tasks: Sequence) -> List[Tuple]:
+        """Run shared-memory :class:`~repro.parallel.shm.TileTask` items.
+
+        Returns ``[(tile_index, checksums_or_None), ...]`` in task order.
+        """
+        from repro.parallel.shm import run_tile_task
+
+        pool = self._ensure_pool()
+        return list(pool.map(run_tile_task, tasks))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolTileExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Canonical executor kinds accepted by :func:`make_executor`."""
+    return ("process", "serial", "threads")
+
+
+def default_executor_kind() -> str:
+    """The kind the current process resolves ``kind=None`` to."""
+    if _DEFAULT_EXECUTOR_OVERRIDE is not None:
+        return _DEFAULT_EXECUTOR_OVERRIDE
+    return os.environ.get(EXECUTOR_ENV_VAR, BUILTIN_DEFAULT_EXECUTOR)
+
+
+def set_default_executor(kind: Optional[str]) -> None:
+    """Install (or with ``None`` clear) the process-wide default executor.
+
+    Takes precedence over the ``REPRO_EXECUTOR`` environment variable;
+    the kind is validated immediately.
+    """
+    global _DEFAULT_EXECUTOR_OVERRIDE
+    if kind is not None:
+        if kind not in _KIND_ALIASES:
+            raise ValueError(
+                f"unknown executor kind {kind!r}; expected one of "
+                f"{available_executors()}"
+            )
+        kind = _KIND_ALIASES[kind]
+    _DEFAULT_EXECUTOR_OVERRIDE = kind
+
+
+def make_executor(kind: Optional[str] = None, workers: Optional[int] = None):
+    """Build an executor by kind (``"serial"``, ``"threads"``, ``"process"``).
+
+    ``kind=None`` resolves through the default chain (process-wide
+    override, then ``REPRO_EXECUTOR``, then ``"serial"``); ``workers=None``
+    sizes pools to ``os.cpu_count()``.
+    """
+    if kind is None:
+        kind = default_executor_kind()
+    canonical = _KIND_ALIASES.get(str(kind))
+    if canonical == "serial":
         return SerialExecutor()
-    if kind in ("threads", "thread", "threadpool"):
+    if canonical == "threads":
         return ThreadPoolTileExecutor(workers=workers)
-    raise ValueError(f"unknown executor kind {kind!r}; expected 'serial' or 'threads'")
+    if canonical == "process":
+        return ProcessPoolTileExecutor(workers=workers)
+    raise ValueError(
+        f"unknown executor kind {kind!r}; expected one of {available_executors()}"
+    )

@@ -1,0 +1,162 @@
+"""Shared-memory tile tasks for the process-pool executor.
+
+The process-pool tile executor escapes the GIL by running each tile's
+sweep in a separate OS process.  Shipping the domain to the workers by
+pickle would reintroduce the full-domain copies the double-buffered
+pipeline just removed, so instead the *global* padded buffer pair lives
+in ``multiprocessing.shared_memory`` (see
+:meth:`repro.stencil.doublebuffer.DoubleBufferedGrid.share`) and a task
+carries only **names and indices**: the shared block names, the tile's
+slice bounds, the stencil spec and the checksum axes.  Workers attach
+the blocks once (cached per process), sweep their tile slice of the
+shared back buffer in place, and return nothing but the tile's fused
+checksum vectors — a few KiB — which the parent then feeds to the
+per-tile ABFT protectors.
+
+Every function here is module-level so tasks pickle under both the
+``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TileTask",
+    "run_tile_task",
+    "share_array_copy",
+    "detach_all",
+    "worker_init",
+]
+
+#: Per-process cache of attached shared-memory blocks: name -> SharedMemory.
+_ATTACHED: Dict[str, object] = {}
+
+
+def _attach(name: str) -> "np.ndarray":
+    """Attach a shared-memory block by name (cached per process)."""
+    from multiprocessing import shared_memory
+
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        # Workers inherit the parent's resource tracker (fork and spawn
+        # both pass the tracker fd down), so the attach-time re-register
+        # the stdlib performs is an idempotent set-add there — the block
+        # stays owned by the creating process, which unlinks on shutdown.
+        shm = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = shm
+    return shm
+
+
+def attach_array(name: str, shape: Tuple[int, ...], dtype_str: str) -> np.ndarray:
+    """Numpy view of an attached shared-memory block."""
+    shm = _attach(name)
+    return np.ndarray(tuple(shape), dtype=np.dtype(dtype_str), buffer=shm.buf)
+
+
+def detach_all() -> None:
+    """Close every cached attachment (runs atexit in each worker)."""
+    for shm in _ATTACHED.values():
+        try:
+            shm.close()
+        except (BufferError, OSError):
+            pass
+    _ATTACHED.clear()
+
+
+def worker_init() -> None:
+    """Pool initializer: detach cached blocks when the worker retires."""
+    import atexit
+
+    atexit.register(detach_all)
+
+
+def share_array_copy(array: np.ndarray):
+    """Copy ``array`` into a fresh shared-memory block.
+
+    Returns ``(SharedMemory, name)``; the caller owns the block and must
+    close+unlink it.  Used for per-run constants (e.g. a power map) that
+    workers read but never write.
+    """
+    from multiprocessing import shared_memory
+
+    array = np.ascontiguousarray(array)
+    shm = shared_memory.SharedMemory(create=True, size=max(int(array.nbytes), 1))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array
+    return shm, shm.name
+
+
+class TileTask(NamedTuple):
+    """Everything a worker needs to sweep one tile — no array payloads."""
+
+    src_name: str                      #: shared block holding the padded step-t domain
+    dst_name: str                      #: shared block the new interior is written into
+    padded_shape: Tuple[int, ...]      #: shape of both padded blocks
+    dtype_str: str                     #: domain dtype (numpy dtype string)
+    radius: Tuple[int, ...]            #: ghost width per axis
+    spec: object                       #: the StencilSpec (small, picklable)
+    box: object                        #: the TileBox (index + slices, picklable)
+    backend_name: str                  #: registry name resolved inside the worker
+    axes: Optional[Tuple[int, ...]]    #: checksum axes (None → unfused sweep)
+    checksum_dtype_str: Optional[str]  #: checksum accumulation dtype
+    const_name: Optional[str]          #: shared block holding the constant term
+    interior_shape: Tuple[int, ...]    #: global interior shape (for const slicing)
+
+
+def run_tile_task(task: TileTask):
+    """Sweep one tile of the shared domain; returns ``(index, checksums)``.
+
+    The tile's ghost cells are a larger slice of the shared padded source
+    (neighbour data and global boundary alike, through the same
+    :func:`~repro.parallel.halo.padded_tile_view` helper as the
+    thread-pool path), and the result lands directly in the shared back
+    buffer — the only thing crossing the process boundary on the way
+    back is the per-tile checksum map (or ``None`` for unfused sweeps).
+    """
+    from repro.backends import get_backend
+    from repro.parallel.halo import padded_tile_view
+    from repro.stencil.shift import interior_view
+
+    src = attach_array(task.src_name, task.padded_shape, task.dtype_str)
+    dst = attach_array(task.dst_name, task.padded_shape, task.dtype_str)
+    radius = tuple(task.radius)
+    box = task.box
+
+    ptile = padded_tile_view(src, box, radius)
+    tile_out = interior_view(dst, radius)[box.slices]
+
+    const = None
+    if task.const_name is not None:
+        const = attach_array(
+            task.const_name, task.interior_shape, task.dtype_str
+        )[box.slices]
+
+    backend = get_backend(task.backend_name)
+    checksums = None
+    if task.axes:
+        cs_dtype = (
+            None
+            if task.checksum_dtype_str is None
+            else np.dtype(task.checksum_dtype_str)
+        )
+        new, checksums = backend.sweep_with_checksums(
+            ptile,
+            task.spec,
+            radius,
+            box.shape,
+            tuple(task.axes),
+            constant=const,
+            out=tile_out,
+            checksum_dtype=cs_dtype,
+        )
+    else:
+        new = backend.sweep_padded(
+            ptile, task.spec, radius, box.shape, constant=const, out=tile_out
+        )
+    if new is not tile_out:
+        # Backend ignored ``out`` (copy-based fallback): land the result.
+        tile_out[...] = new
+    return box.index, checksums

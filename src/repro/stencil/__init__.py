@@ -13,12 +13,18 @@ The implementation is split into small modules:
     :class:`BoundaryCondition` / :class:`BoundarySpec` — per-axis
     boundary behaviour and the mapping onto ghost-cell padding.
 ``shift``
-    Ghost-cell padding and shifted-view helpers shared by the sweep and
-    by the ABFT checksum interpolation.
+    Ghost-cell padding, the in-place ``refresh_ghosts`` halo refresh and
+    shifted-view helpers shared by the sweep and by the ABFT checksum
+    interpolation.
+``doublebuffer``
+    :class:`DoubleBufferedGrid` — the persistent padded buffer pair that
+    removes the per-iteration full-domain copy (optionally backed by
+    ``multiprocessing.shared_memory`` for the process-pool executor).
 ``sweep``
     The generic N-dimensional padded sweep operator (plus the fused
-    ``sweep_with_checksums`` primitive). Both dispatch to the pluggable
-    compute backends of :mod:`repro.backends`.
+    ``sweep_with_checksums`` and zero-copy ``sweep_into`` primitives).
+    All dispatch to the pluggable compute backends of
+    :mod:`repro.backends`.
 ``sweep2d`` / ``sweep3d``
     Dimension-checked convenience wrappers.
 ``reference``
@@ -31,8 +37,15 @@ The implementation is split into small modules:
 
 from repro.stencil.spec import StencilPoint, StencilSpec
 from repro.stencil.boundary import BoundaryCondition, BoundarySpec
-from repro.stencil.shift import pad_array, shifted_view, interior_slices
-from repro.stencil.sweep import sweep_padded, sweep, sweep_with_checksums
+from repro.stencil.shift import (
+    interior_slices,
+    pad_array,
+    padded_shape,
+    refresh_ghosts,
+    shifted_view,
+)
+from repro.stencil.doublebuffer import DoubleBufferedGrid
+from repro.stencil.sweep import sweep_padded, sweep, sweep_into, sweep_with_checksums
 from repro.stencil.sweep2d import sweep2d
 from repro.stencil.sweep3d import sweep3d
 from repro.stencil.grid import Grid2D, Grid3D, GridBase
@@ -44,10 +57,14 @@ __all__ = [
     "BoundaryCondition",
     "BoundarySpec",
     "pad_array",
+    "padded_shape",
+    "refresh_ghosts",
     "shifted_view",
     "interior_slices",
+    "DoubleBufferedGrid",
     "sweep_padded",
     "sweep",
+    "sweep_into",
     "sweep_with_checksums",
     "sweep2d",
     "sweep3d",

@@ -1,0 +1,219 @@
+"""Persistent double-buffered padded storage for stencil domains.
+
+Historically every sweep paid for one full-domain copy: ``pad_array``
+allocated a fresh padded array, copied the interior into it and filled
+the halo.  :class:`DoubleBufferedGrid` removes that copy from the hot
+path by keeping *two* persistent padded buffers:
+
+* the **front** buffer holds the current domain; before a sweep only its
+  ghost cells are re-filled in place (:func:`~repro.stencil.shift.refresh_ghosts`,
+  an ``O(boundary surface)`` operation);
+* the sweep writes the new interior straight into the **back** buffer
+  (via :meth:`repro.backends.base.Backend.sweep_into`);
+* the pair then swaps, so the buffer that held step ``t`` becomes the
+  scratch target for step ``t+2``.
+
+The previous step therefore stays alive exactly one iteration — long
+enough for the ABFT protectors, which read ``grid.previous_padded``
+immediately after each sweep, and no longer.
+
+For the process-pool tile executor the pair can be migrated into
+``multiprocessing.shared_memory`` (:meth:`DoubleBufferedGrid.share`):
+worker processes then attach the same physical pages by name and the
+halo pipeline crosses process boundaries without copying the domain.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.shift import (
+    interior_view,
+    normalize_radius,
+    padded_shape,
+    refresh_ghosts,
+)
+
+__all__ = ["DoubleBufferedGrid"]
+
+
+def _release_shared(blocks) -> None:
+    """Close and unlink the shared-memory blocks backing a buffer pair."""
+    for shm in blocks:
+        try:
+            # Raises BufferError while numpy views are still alive; the
+            # resource tracker then reclaims the block at process exit.
+            shm.close()
+        except BufferError:
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # already released elsewhere
+            pass
+
+
+class DoubleBufferedGrid:
+    """A pair of persistent ghost-padded buffers for one stencil domain.
+
+    Parameters
+    ----------
+    initial:
+        Interior domain values (always copied into the front buffer).
+    radius:
+        Ghost width, scalar or per axis.
+    boundary:
+        Boundary specification used by :meth:`refresh`.
+    dtype:
+        Buffer dtype (``None`` → dtype of ``initial``).
+    shared:
+        Allocate the pair in ``multiprocessing.shared_memory`` straight
+        away (equivalent to calling :meth:`share` after construction).
+    """
+
+    def __init__(
+        self,
+        initial: np.ndarray,
+        radius,
+        boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
+        dtype=None,
+        shared: bool = False,
+    ) -> None:
+        initial = np.asarray(initial)
+        self.radius = normalize_radius(radius, initial.ndim)
+        self.boundary = BoundarySpec.from_any(boundary, initial.ndim)
+        self.interior_shape = initial.shape
+        self.padded_shape = padded_shape(initial.shape, self.radius)
+        self.dtype = np.dtype(dtype) if dtype is not None else initial.dtype
+        self._shm_blocks: Tuple = ()
+        self._shm_names: Optional[Tuple[str, str]] = None
+        self._finalizer = None
+        self._front = np.zeros(self.padded_shape, dtype=self.dtype)
+        self._back = np.zeros(self.padded_shape, dtype=self.dtype)
+        interior_view(self._front, self.radius)[...] = initial
+        if shared:
+            self.share()
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def front(self) -> np.ndarray:
+        """The padded buffer holding the current step."""
+        return self._front
+
+    @property
+    def back(self) -> np.ndarray:
+        """The padded scratch buffer the next sweep writes into."""
+        return self._back
+
+    @property
+    def interior(self) -> np.ndarray:
+        """View of the current interior domain (front buffer)."""
+        return interior_view(self._front, self.radius)
+
+    @property
+    def back_interior(self) -> np.ndarray:
+        """View of the back buffer's interior (the next sweep's target)."""
+        return interior_view(self._back, self.radius)
+
+    def nbytes(self) -> int:
+        """Total footprint of the pair in bytes."""
+        return int(self._front.nbytes + self._back.nbytes)
+
+    # -- the per-step lifecycle ---------------------------------------------
+    def refresh(self) -> np.ndarray:
+        """Re-fill the front buffer's ghost cells in place; returns it.
+
+        Called once per sweep, immediately before the buffer is read, so
+        that interior mutations since the last step (ABFT corrections,
+        injected faults) are reflected in the halo.
+        """
+        return refresh_ghosts(self._front, self.radius, self.boundary)
+
+    def swap(self) -> None:
+        """Exchange front and back (the freshly swept back becomes current)."""
+        self._front, self._back = self._back, self._front
+        if self._shm_names is not None:
+            self._shm_names = (self._shm_names[1], self._shm_names[0])
+
+    def load(self, u: np.ndarray) -> None:
+        """Overwrite the front interior with ``u`` (snapshot restore)."""
+        u = np.asarray(u)
+        if u.shape != self.interior_shape:
+            raise ValueError(
+                f"expected interior shape {self.interior_shape}, got {u.shape}"
+            )
+        interior_view(self._front, self.radius)[...] = u
+
+    # -- shared-memory migration --------------------------------------------
+    @property
+    def is_shared(self) -> bool:
+        """Whether the pair lives in ``multiprocessing.shared_memory``."""
+        return self._shm_names is not None
+
+    @property
+    def shm_names(self) -> Optional[Tuple[str, str]]:
+        """``(front_name, back_name)`` shared-memory block names, if shared.
+
+        The names track :meth:`swap`, so ``shm_names[0]`` always refers
+        to the block currently holding the front buffer.
+        """
+        return self._shm_names
+
+    def share(self) -> Tuple[str, str]:
+        """Migrate the pair into shared memory (idempotent).
+
+        The current contents are copied across once; afterwards the
+        front/back views alias the shared blocks, so every later sweep,
+        correction and ghost refresh happens directly in memory that
+        worker processes can attach by name.
+        """
+        if self._shm_names is not None:
+            return self._shm_names
+        from multiprocessing import shared_memory
+
+        nbytes = int(
+            np.prod(self.padded_shape, dtype=np.int64) * self.dtype.itemsize
+        )
+        blocks = []
+        arrays = []
+        for source in (self._front, self._back):
+            shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+            arr = np.ndarray(self.padded_shape, dtype=self.dtype, buffer=shm.buf)
+            arr[...] = source
+            blocks.append(shm)
+            arrays.append(arr)
+        self._front, self._back = arrays
+        self._shm_blocks = tuple(blocks)
+        self._shm_names = (blocks[0].name, blocks[1].name)
+        # Unlink happens at gc/interpreter exit even if close() is never
+        # called explicitly, so tests and crashed runs do not leak blocks.
+        self._finalizer = weakref.finalize(self, _release_shared, self._shm_blocks)
+        return self._shm_names
+
+    def close(self) -> None:
+        """Release the shared-memory blocks (no-op for heap buffers).
+
+        The buffer contents are preserved: the pair is copied back onto
+        the ordinary heap before the blocks are unlinked, so a grid can
+        keep stepping after its executor is shut down.
+        """
+        if self._shm_names is None:
+            return
+        self._front = self._front.copy()
+        self._back = self._back.copy()
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _release_shared(self._shm_blocks)
+        self._shm_blocks = ()
+        self._shm_names = None
+
+    def __repr__(self) -> str:
+        kind = "shared" if self.is_shared else "heap"
+        return (
+            f"DoubleBufferedGrid(interior={self.interior_shape}, "
+            f"radius={self.radius}, {kind})"
+        )

@@ -9,6 +9,22 @@ interpolation of Theorem 1 predicts the step-``t+1`` checksums from the
 step-``t`` checksums **and** a thin strip of step-``t`` boundary values
 (the α/β terms), so the protector reads ``grid.previous_padded`` after
 every sweep.
+
+Storage is a persistent padded buffer pair
+(:class:`~repro.stencil.doublebuffer.DoubleBufferedGrid`): each sweep
+refreshes only the ghost cells of the front buffer in place and writes
+the new interior straight into the back buffer through the backend's
+``sweep_into`` primitive, then the pair swaps.  No full-domain copy is
+made per iteration.  Consequences callers must respect:
+
+* ``grid.u``, ``grid.previous`` and ``grid.previous_padded`` are views
+  into the pair.  ``previous``/``previous_padded`` stay valid until the
+  *next* call to ``step`` (which reuses their buffer as the sweep
+  target); the protectors read them immediately after each sweep, which
+  is exactly the window the pair guarantees.
+* In-place mutations of ``grid.u`` (ABFT corrections, injected faults)
+  are picked up by the next sweep automatically — the ghost refresh
+  re-reads the interior every step.
 """
 
 from __future__ import annotations
@@ -20,7 +36,7 @@ import numpy as np
 from repro.backends import Backend, ChecksumMap, get_backend
 from repro.backends.registry import BackendLike
 from repro.stencil.boundary import BoundaryCondition, BoundarySpec
-from repro.stencil.shift import pad_array
+from repro.stencil.doublebuffer import DoubleBufferedGrid
 from repro.stencil.spec import StencilSpec
 
 __all__ = ["GridBase", "Grid2D", "Grid3D", "GridSnapshot"]
@@ -46,7 +62,8 @@ class GridBase:
     Parameters
     ----------
     initial:
-        Initial domain values (copied unless ``copy=False``).
+        Initial domain values.  Always copied into the grid's persistent
+        padded buffer pair; the caller's array is never aliased.
     spec:
         The stencil operator applied at every step.
     boundary:
@@ -56,7 +73,8 @@ class GridBase:
         Optional per-point constant term :math:`C` added at every sweep
         (heat source, power map, ...). Same shape as the domain.
     copy:
-        Whether to copy ``initial``.
+        Kept for API compatibility; the buffer pair always copies
+        ``initial``, so this flag has no aliasing effect any more.
     backend:
         Compute backend executing the sweeps: a registry name, a
         :class:`~repro.backends.base.Backend` instance, or ``None`` to
@@ -74,7 +92,7 @@ class GridBase:
         copy: bool = True,
         backend: BackendLike = None,
     ) -> None:
-        u = np.array(initial, copy=True) if copy else np.asarray(initial)
+        u = np.asarray(initial)
         if self.expected_ndim is not None and u.ndim != self.expected_ndim:
             raise ValueError(
                 f"{type(self).__name__} expects a {self.expected_ndim}D domain, "
@@ -86,7 +104,6 @@ class GridBase:
             )
         if not np.issubdtype(u.dtype, np.floating):
             u = u.astype(np.float32)
-        self.u = u
         self.spec = spec
         self.boundary = BoundarySpec.from_any(boundary, u.ndim)
         if constant is not None:
@@ -99,6 +116,10 @@ class GridBase:
         self.radius = spec.radius()
         self.iteration = 0
         self.backend_spec = backend
+        #: The persistent padded buffer pair backing this grid.
+        self.buffers = DoubleBufferedGrid(u, self.radius, self.boundary)
+        #: Interior domain at the current step (a view into the pair).
+        self.u = self.buffers.interior
         self._previous: Optional[np.ndarray] = None
         self._previous_padded: Optional[np.ndarray] = None
         #: Checksums produced by the last fused step (``None`` after a
@@ -144,13 +165,49 @@ class GridBase:
 
     # -- stepping -----------------------------------------------------------
     def padded_current(self) -> np.ndarray:
-        """Ghost-padded copy of the current domain."""
-        return pad_array(self.u, self.radius, self.boundary)
+        """The persistent front buffer with its ghost cells refreshed.
+
+        This is a live view of the grid's storage, not a copy: the
+        interior block *is* ``grid.u``.  Mutating the returned array
+        mutates the grid.
+        """
+        return self.buffers.refresh()
+
+    @property
+    def back_padded(self) -> np.ndarray:
+        """The padded back buffer the next sweep will write into."""
+        return self.buffers.back
+
+    def share_buffers(self) -> Tuple[str, str]:
+        """Migrate the buffer pair into shared memory; returns block names.
+
+        Used by the process-pool tile executor so worker processes can
+        attach the domain by name.  All live views (``u``, ``previous``,
+        ``previous_padded``) are rebound to the shared blocks.
+        """
+        names = self.buffers.share()
+        self.u = self.buffers.interior
+        self._previous = None
+        self._previous_padded = None
+        return names
+
+    def close_buffers(self) -> None:
+        """Release shared-memory buffers (contents survive on the heap)."""
+        if not self.buffers.is_shared:
+            return
+        self._previous = None
+        self._previous_padded = None
+        self.u = None  # drop the shm view before the block is closed
+        self.buffers.close()
+        self.u = self.buffers.interior
 
     def step(
         self, padded: Optional[np.ndarray] = None, backend: BackendLike = None
     ) -> np.ndarray:
         """Advance one stencil sweep and return the new domain.
+
+        The sweep writes the new interior directly into the back buffer
+        (``Backend.sweep_into``); no full-domain allocation is made.
 
         Parameters
         ----------
@@ -158,18 +215,23 @@ class GridBase:
             Optional pre-built padded array (used by the parallel tile
             runner, where ghost cells carry halo data from neighbouring
             tiles instead of a closed boundary condition). When omitted
-            the grid pads itself from its boundary specification.
+            the grid refreshes and reads its own front buffer.
         backend:
             Optional backend override for this step only (``None`` →
             the grid's own backend).
         """
         be = self.backend if backend is None else get_backend(backend)
         if padded is None:
-            padded = self.padded_current()
-        new = be.sweep_padded(
-            padded, self.spec, self.radius, self.u.shape, constant=self.constant
+            padded = self.buffers.refresh()
+        new = be.sweep_into(
+            padded,
+            self.buffers.back,
+            self.spec,
+            self.radius,
+            self.shape,
+            constant=self.constant,
         )
-        self._commit(padded, new, None)
+        self._commit(padded, None)
         return new
 
     def step_with_checksums(
@@ -197,29 +259,36 @@ class GridBase:
         """
         be = self.backend if backend is None else get_backend(backend)
         if padded is None:
-            padded = self.padded_current()
-        new, checksums = be.sweep_with_checksums(
+            padded = self.buffers.refresh()
+        new, checksums = be.sweep_into_with_checksums(
             padded,
+            self.buffers.back,
             self.spec,
             self.radius,
-            self.u.shape,
+            self.shape,
             axes,
             constant=self.constant,
             checksum_dtype=checksum_dtype,
         )
-        self._commit(padded, new, checksums)
+        self._commit(padded, checksums)
         return new, checksums
 
     def _commit(
         self,
-        padded: np.ndarray,
-        new: np.ndarray,
+        padded_src: np.ndarray,
         checksums: Optional[ChecksumMap],
     ) -> None:
-        """Double-buffer swap shared by :meth:`step` and the fused step."""
+        """Swap the buffer pair after a sweep into the back buffer.
+
+        ``padded_src`` is the padded array the sweep read (the front
+        buffer, or an externally halo-filled array); it becomes
+        :attr:`previous_padded` and stays valid until the next step
+        reclaims its buffer as the sweep target.
+        """
         self._previous = self.u
-        self._previous_padded = padded
-        self.u = new
+        self._previous_padded = padded_src
+        self.buffers.swap()
+        self.u = self.buffers.interior
         self.iteration += 1
         self.last_checksums = checksums
 
@@ -237,12 +306,17 @@ class GridBase:
         return GridSnapshot(self.u, self.iteration)
 
     def restore(self, snap: GridSnapshot) -> None:
-        """Restore a previously taken snapshot (rollback recovery)."""
+        """Restore a previously taken snapshot (rollback recovery).
+
+        The snapshot is written into the front buffer's interior in
+        place, so ``grid.u`` remains a view into the buffer pair.
+        """
         if snap.u.shape != self.u.shape:
             raise ValueError(
                 f"snapshot shape {snap.u.shape} does not match domain {self.u.shape}"
             )
-        self.u = snap.u.copy()
+        self.buffers.load(snap.u)
+        self.u = self.buffers.interior
         self.iteration = snap.iteration
         self._previous = None
         self._previous_padded = None

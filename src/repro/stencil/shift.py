@@ -23,7 +23,9 @@ from repro.stencil.boundary import BoundaryCondition, BoundarySpec
 
 __all__ = [
     "normalize_radius",
+    "padded_shape",
     "pad_array",
+    "refresh_ghosts",
     "shifted_view",
     "interior_slices",
     "interior_view",
@@ -41,6 +43,13 @@ def normalize_radius(radius, ndim: int) -> Tuple[int, ...]:
     if any(r < 0 for r in radius):
         raise ValueError(f"radii must be non-negative, got {radius}")
     return radius
+
+
+def padded_shape(interior_shape: Sequence[int], radius) -> Tuple[int, ...]:
+    """Shape of the ghost-padded array for a given interior shape."""
+    interior_shape = tuple(int(n) for n in interior_shape)
+    radius = normalize_radius(radius, len(interior_shape))
+    return tuple(n + 2 * r for n, r in zip(interior_shape, radius))
 
 
 def pad_array(
@@ -92,6 +101,86 @@ def pad_array(
             )
     if padded is u:
         padded = u.copy()
+    return padded
+
+
+def refresh_ghosts(
+    padded: np.ndarray,
+    radius,
+    boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
+) -> np.ndarray:
+    """Re-fill the ghost cells of an existing padded array, in place.
+
+    This is the zero-allocation counterpart of :func:`pad_array`: instead
+    of building a fresh padded copy of the interior, it rewrites only the
+    halo of ``padded`` from its (possibly updated) interior block.  The
+    double-buffered grids call it once per sweep, turning the former
+    full-domain copy into an ``O(boundary surface)`` touch-up.
+
+    The fill order and region semantics replicate ``pad_array`` exactly —
+    axis by axis, where axis ``k``'s slabs span the already-refreshed
+    ghost range of axes ``< k`` but only the interior range of axes
+    ``> k``, so corners are owned by the highest axis — which makes the
+    result bit-identical to a fresh :func:`pad_array` of the interior for
+    every boundary kind.
+
+    Returns ``padded`` (the same object) for chaining.
+    """
+    radius = normalize_radius(radius, padded.ndim)
+    bspec = BoundarySpec.from_any(boundary, padded.ndim)
+    ndim = padded.ndim
+    for axis in range(ndim):
+        r = radius[axis]
+        n = padded.shape[axis] - 2 * r
+        if n < 0:
+            raise ValueError(
+                f"padded extent {padded.shape[axis]} smaller than ghost "
+                f"width 2*{r} along axis {axis}"
+            )
+        if bspec.axis(axis).is_periodic and r > n:
+            # Degenerate wrap (ghost wider than the interior): the in-place
+            # slab fill below would read half-written ghosts. np.pad's
+            # tiling semantics still apply, so take the allocating path
+            # once — correctness over speed for this corner case.
+            padded[...] = pad_array(
+                interior_view(padded, radius).copy(), radius, bspec
+            )
+            return padded
+    for axis in range(ndim):
+        r = radius[axis]
+        if r == 0:
+            continue
+        bc = bspec.axis(axis)
+        n = padded.shape[axis] - 2 * r
+        base: list = []
+        for ax2 in range(ndim):
+            if ax2 < axis:
+                base.append(slice(None))
+            elif ax2 == axis:
+                base.append(slice(None))  # replaced per slab below
+            else:
+                r2 = radius[ax2]
+                base.append(
+                    slice(r2, padded.shape[ax2] - r2) if r2 else slice(None)
+                )
+
+        def slab(sl: slice) -> np.ndarray:
+            s = list(base)
+            s[axis] = sl
+            return padded[tuple(s)]
+
+        low, high = slice(0, r), slice(r + n, 2 * r + n)
+        if bc.is_clamp:
+            slab(low)[...] = slab(slice(r, r + 1))
+            slab(high)[...] = slab(slice(r + n - 1, r + n))
+        elif bc.is_periodic:
+            # Ghost and source ranges are disjoint because r <= n.
+            slab(low)[...] = slab(slice(n, n + r))
+            slab(high)[...] = slab(slice(r, 2 * r))
+        else:
+            fill = bc.fill_value()
+            slab(low)[...] = fill
+            slab(high)[...] = fill
     return padded
 
 

@@ -27,6 +27,10 @@ def sweep2d(
     Equivalent to the kernel of Figure 2 in the paper (for the five-point
     case) but valid for any :class:`~repro.stencil.spec.StencilSpec`.
 
+    This one-shot form pads a fresh copy of ``u`` per call; iterative
+    callers should prefer :class:`~repro.stencil.grid.Grid2D`, whose
+    persistent buffer pair sweeps in place with no full-domain copy.
+
     Parameters
     ----------
     u:

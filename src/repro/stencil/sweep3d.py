@@ -24,6 +24,10 @@ def sweep3d(
 ) -> np.ndarray:
     """One sweep of a 3D stencil over a 3D domain.
 
+    This one-shot form pads a fresh copy of ``u`` per call; iterative
+    callers should prefer :class:`~repro.stencil.grid.Grid3D`, whose
+    persistent buffer pair sweeps in place with no full-domain copy.
+
     Parameters
     ----------
     u:

@@ -161,6 +161,112 @@ class TestSweepEquivalence:
             )
 
 
+class TestSweepInto:
+    """The zero-copy primitive must equal the allocating sweep bitwise."""
+
+    @pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+    def test_matches_sweep_padded(self, rng, backend_name, bc):
+        from repro.stencil.shift import interior_view, padded_shape
+
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, SHAPE_2D)
+        radius = spec.radius()
+        padded = pad_array(u, radius, bc)
+        reference = get_backend(backend_name).sweep_padded(
+            padded, spec, radius, SHAPE_2D
+        )
+        dst = np.full(padded_shape(SHAPE_2D, radius), np.nan, dtype=np.float32)
+        result = get_backend(backend_name).sweep_into(
+            padded, dst, spec, radius, SHAPE_2D
+        )
+        assert np.shares_memory(result, dst)
+        np.testing.assert_array_equal(result, reference)
+        np.testing.assert_array_equal(interior_view(dst, radius), reference)
+
+    def test_overlapping_buffers_fall_back_safely(self, rng, backend_name):
+        """src == dst must still produce the correct result (via copy)."""
+        from repro.stencil.shift import interior_view
+
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, SHAPE_2D)
+        radius = spec.radius()
+        padded = pad_array(u, radius, BoundaryCondition.clamp())
+        reference = get_backend(backend_name).sweep_padded(
+            padded, spec, radius, SHAPE_2D
+        )
+        get_backend(backend_name).sweep_into(
+            padded, padded, spec, radius, SHAPE_2D
+        )
+        np.testing.assert_array_equal(interior_view(padded, radius), reference)
+
+    def test_dst_shape_validated(self, rng, backend_name):
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, SHAPE_2D)
+        radius = spec.radius()
+        padded = pad_array(u, radius, BoundaryCondition.clamp())
+        with pytest.raises(ValueError, match="dst_padded has shape"):
+            get_backend(backend_name).sweep_into(
+                padded, np.empty((5, 5), np.float32), spec, radius, SHAPE_2D
+            )
+
+    def test_sweep_into_with_checksums_matches_posthoc(self, rng, backend_name):
+        from repro.stencil.shift import padded_shape
+
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, SHAPE_2D)
+        radius = spec.radius()
+        padded = pad_array(u, radius, BoundaryCondition.clamp())
+        dst = np.empty(padded_shape(SHAPE_2D, radius), dtype=np.float32)
+        new, cs = get_backend(backend_name).sweep_into_with_checksums(
+            padded, dst, spec, radius, SHAPE_2D, (0, 1), checksum_dtype=np.float64
+        )
+        for axis in (0, 1):
+            np.testing.assert_array_equal(
+                cs[axis], checksum(new, axis, dtype=np.float64)
+            )
+
+    def test_module_dispatcher(self, rng):
+        from repro.stencil.shift import padded_shape
+        from repro.stencil.sweep import sweep_into
+
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, SHAPE_2D)
+        radius = spec.radius()
+        padded = pad_array(u, radius, BoundaryCondition.clamp())
+        dst = np.empty(padded_shape(SHAPE_2D, radius), dtype=np.float32)
+        result = sweep_into(padded, dst, spec, radius, SHAPE_2D, backend="fused")
+        np.testing.assert_array_equal(
+            result,
+            get_backend("numpy").sweep_padded(padded, spec, radius, SHAPE_2D),
+        )
+
+    def test_copy_fallback_for_minimal_backend(self, rng):
+        """A backend providing only sweep_padded still lands in dst."""
+        from repro.stencil.shift import interior_view, padded_shape
+
+        class MinimalBackend(Backend):
+            name = "minimal-test"
+
+            def sweep_padded(self, padded, spec, radius, interior_shape,
+                             constant=None, out=None):
+                # Deliberately ignores ``out`` — the fallback must copy.
+                return get_backend(REFERENCE).sweep_padded(
+                    padded, spec, radius, interior_shape, constant=constant
+                )
+
+        spec = stencil_library_2d()[1]
+        u = _domain(rng, SHAPE_2D)
+        radius = spec.radius()
+        padded = pad_array(u, radius, BoundaryCondition.clamp())
+        dst = np.full(padded_shape(SHAPE_2D, radius), np.nan, dtype=np.float32)
+        result = MinimalBackend().sweep_into(padded, dst, spec, radius, SHAPE_2D)
+        np.testing.assert_array_equal(
+            interior_view(dst, radius),
+            get_backend(REFERENCE).sweep_padded(padded, spec, radius, SHAPE_2D),
+        )
+        assert np.shares_memory(result, dst)
+
+
 class TestFusedChecksums:
     @pytest.mark.parametrize(
         "spec",
