@@ -23,6 +23,18 @@ reproduction is built on:
     into the destination interior) so a third-party backend that only
     implements ``sweep_padded`` keeps working; the built-in backends
     override it to write in place.
+``step_into`` / ``step_into_with_checksums``
+    One whole protected *step* of a buffer pair, **including the ghost
+    refresh** of the source buffer: refresh halo, sweep into the
+    destination interior and (for the fused form) accumulate the
+    row/column checksums.  The base implementation simply runs
+    :func:`repro.stencil.shift.refresh_ghosts` followed by
+    ``sweep_into*``; a backend that *owns* its ghost refresh — e.g. a
+    JIT backend whose compiled kernel fills ghost values and checksums
+    in the same traversal that sweeps — overrides these and advertises
+    it through :meth:`supports_fused_step`.  Either way the source
+    buffer's halo holds the boundary condition afterwards, because the
+    ABFT protectors read it for the Theorem-1 α/β terms.
 
 All backends must agree numerically with the ``numpy`` reference within
 the detection threshold recommended by
@@ -253,6 +265,97 @@ class Backend(ABC):
             for axis in axes
         }
         return interior, checksums
+
+    # -- backend-owned full steps (ghost refresh + sweep [+ checksums]) -----
+    def supports_fused_step(
+        self, spec: StencilSpec, boundary, radius, interior_shape: Sequence[int]
+    ) -> bool:
+        """Whether ``step_into*`` fuses the ghost refresh into the sweep.
+
+        ``False`` (the default) means the base implementations below run
+        the separate :func:`~repro.stencil.shift.refresh_ghosts` pass
+        before sweeping — still correct, just not a single traversal.
+        Backends answer per configuration so they can decline corner
+        cases (e.g. degenerate periodic halos wider than the interior).
+        """
+        return False
+
+    def step_into(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        constant: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One full step of a buffer pair: ghost refresh + sweep.
+
+        Unlike ``sweep_into``, the source halo is *not* assumed valid on
+        entry: it is (re)filled from ``boundary`` as part of the step.
+        On return the source halo is consistent with its interior — the
+        protectors rely on that when interpolating checksums from the
+        previous padded step.  Callers with externally filled halos
+        (tile views carrying neighbour data) must keep using
+        ``sweep_into``.
+
+        Returns the destination interior view.
+        """
+        from repro.stencil.shift import refresh_ghosts
+
+        refresh_ghosts(src_padded, radius, boundary)
+        return self.sweep_into(
+            src_padded, dst_padded, spec, radius, interior_shape, constant=constant
+        )
+
+    def step_into_with_checksums(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        axes: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+    ) -> Tuple[np.ndarray, ChecksumMap]:
+        """Fused form of :meth:`step_into`: also checksum the new interior.
+
+        This is the whole protected iteration as one backend-owned
+        operation — the primitive a JIT backend compiles into a single
+        traversal of the pair (ghost refresh, sweep and per-point
+        checksum accumulation in one pass).
+        """
+        from repro.stencil.shift import refresh_ghosts
+
+        refresh_ghosts(src_padded, radius, boundary)
+        return self.sweep_into_with_checksums(
+            src_padded,
+            dst_padded,
+            spec,
+            radius,
+            interior_shape,
+            axes,
+            constant=constant,
+            checksum_dtype=checksum_dtype,
+        )
+
+    def warmup(
+        self,
+        spec: StencilSpec,
+        boundary=None,
+        dtype=np.float32,
+        checksum_dtype=np.float64,
+    ) -> None:
+        """Prepare the backend for an operator before timing-sensitive work.
+
+        A no-op by default.  JIT backends override this to trigger (or
+        load from the on-disk cache) the compilation of every kernel the
+        operator will need, so the one-off compile cost never lands
+        inside a benchmark loop or a worker process mid-run.
+        """
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -20,8 +20,14 @@ memory-bound nature of large stencil sweeps:
    per-stencil-point incremental reduction of the scratch buffer was
    measured *slower* than one hot reduction of the result — ``k`` extra
    reduction passes versus one — so the fusion happens at call
-   granularity, not per point; a JIT backend (see ROADMAP) is where
-   per-point fusion becomes profitable.
+   granularity, not per point.  That design note has since been
+   revisited: the trade-off inverts once the loop is compiled, and the
+   ``numba`` backend (:mod:`repro.backends.numba_backend`) now provides
+   exactly the per-point fusion this paragraph defers — each computed
+   value is folded into its row/column checksum partials inside the
+   same compiled traversal (no re-read, no extra pass), with the ghost
+   refresh fused in as well.  This backend remains the fastest
+   *interpreted* implementation and the default when numba is absent.
 
 The scratch cache is per-thread (``threading.local``) so the threaded
 tile executor can sweep same-shaped tiles concurrently without races.

@@ -1,0 +1,680 @@
+"""The ``numba`` backend: JIT-compiled per-point fusion of the hot loop.
+
+The interpreted backends can only fuse at *call* granularity — the
+``fused`` backend's docstring records that a per-stencil-point
+incremental checksum was measured slower in NumPy, because each stencil
+point would pay an extra full reduction pass.  Once the loop is
+compiled that trade-off inverts: a single traversal of the buffer pair
+can refresh the ghost cells, apply the stencil and accumulate both
+checksum vectors *per point*, touching every domain value exactly once
+per protected iteration.  That is what this backend provides:
+
+* ``sweep_padded`` / ``sweep_into`` — ``@njit(cache=True,
+  parallel=True)`` stencil kernels (2D and 3D, arbitrary offsets and
+  weights, optional constant term), accumulating in the domain dtype in
+  the same offset order as the ``numpy`` reference.
+* ``sweep_with_checksums`` / ``sweep_into_with_checksums`` — the same
+  traversal also accumulates the row and column checksums per point:
+  each freshly computed value is added to its row partial and its
+  column partial before the loop moves on, instead of re-reading the
+  result in a post-hoc reduction pass.  Column partials are per-``x``
+  thread-private buffers merged by a parfor array reduction, so the
+  parallel loop stays race-free.
+* ``step_into`` / ``step_into_with_checksums`` — the backend *owns the
+  ghost refresh* (see :meth:`~repro.backends.base.Backend.supports_fused_step`):
+  one compiled call re-fills the source halo from the boundary
+  condition (bit-identical to
+  :func:`repro.stencil.shift.refresh_ghosts`, corners owned by the
+  highest axis), sweeps into the back buffer and accumulates the
+  checksums — the whole protected iteration without returning to the
+  interpreter.  Degenerate periodic halos (ghost wider than the
+  interior) fall back to the base refresh-then-sweep path.
+
+Checksums are accumulated sequentially per row/column in the requested
+dtype, whereas ``numpy.sum`` reduces pairwise — the results differ by a
+few ULPs, orders of magnitude below ``recommend_epsilon``, which is the
+contract every backend is held to (see ``tests/test_backends.py``).
+
+The module is importable without ``numba``: :data:`NUMBA_AVAILABLE`
+reports the gate, and ``repro.backends`` registers the backend only
+when the import succeeds (otherwise it is listed as unavailable).  All
+kernels are compiled with ``cache=True`` so the compilation cost is
+paid once per machine, not once per process — worker processes of the
+:class:`~repro.parallel.executor.ProcessPoolTileExecutor` load the
+on-disk artifact instead of recompiling; :meth:`NumbaBackend.warmup`
+triggers (or loads) every kernel an operator needs up front so no
+compile lands inside a timed loop.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.base import Backend, ChecksumMap
+from repro.stencil.boundary import BoundarySpec
+from repro.stencil.spec import StencilSpec
+
+__all__ = ["NUMBA_AVAILABLE", "UNAVAILABLE_REASON", "NumbaBackend"]
+
+#: Whether the optional ``numba`` dependency is importable in this process.
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+#: Why the backend is absent when :data:`NUMBA_AVAILABLE` is false.
+UNAVAILABLE_REASON = (
+    "requires the optional 'numba' package (pip install numba)"
+)
+
+#: Per-spec kernel-argument cache entries kept before the cache resets.
+_MAX_CACHED_SPECS = 16
+
+#: Boundary-kind codes shared between Python and the compiled kernels.
+_BC_CLAMP, _BC_PERIODIC, _BC_FILL = 0, 1, 2
+
+
+if NUMBA_AVAILABLE:  # pragma: no branch - gate evaluated once at import
+    from numba import njit, prange
+
+    # -- plain sweeps (ghost cells trusted as given) ------------------------
+    #
+    # ``dst`` is written at offset (drx, dry[, drz]): 0 for an
+    # interior-shaped output array, ``radius`` for a padded back buffer.
+    # Accumulation runs in the domain dtype (weights are pre-cast) in the
+    # stencil's deterministic offset order.
+
+    @njit(cache=True, parallel=True)
+    def _sweep_2d(src, dst, offs, wts, srx, sry, drx, dry, nx, ny,
+                  const, has_const):
+        k = offs.shape[0]
+        for x in prange(nx):
+            for y in range(ny):
+                acc = wts[0] * src[x + srx + offs[0, 0], y + sry + offs[0, 1]]
+                for p in range(1, k):
+                    acc += wts[p] * src[
+                        x + srx + offs[p, 0], y + sry + offs[p, 1]
+                    ]
+                if has_const:
+                    acc += const[x, y]
+                dst[x + drx, y + dry] = acc
+
+    @njit(cache=True, parallel=True)
+    def _sweep_3d(src, dst, offs, wts, srx, sry, srz, drx, dry, drz,
+                  nx, ny, nz, const, has_const):
+        k = offs.shape[0]
+        for x in prange(nx):
+            for y in range(ny):
+                for z in range(nz):
+                    acc = wts[0] * src[
+                        x + srx + offs[0, 0],
+                        y + sry + offs[0, 1],
+                        z + srz + offs[0, 2],
+                    ]
+                    for p in range(1, k):
+                        acc += wts[p] * src[
+                            x + srx + offs[p, 0],
+                            y + sry + offs[p, 1],
+                            z + srz + offs[p, 2],
+                        ]
+                    if has_const:
+                        acc += const[x, y, z]
+                    dst[x + drx, y + dry, z + drz] = acc
+
+    # -- fused sweep + per-point checksum accumulation ----------------------
+    #
+    # Every computed point is folded into its row partial and its column
+    # partial immediately after it is written — no post-hoc reduction
+    # pass over the result.  ``cs0`` (reduce over x) would race across
+    # the parallel x-loop, so each x-iteration accumulates into a
+    # thread-private partial that a parfor array reduction merges;
+    # ``cs1`` (reduce over y) is indexed by the parallel loop variable
+    # and needs no reduction.  ``cs_like`` only carries the requested
+    # checksum accumulation dtype.
+    #
+    # Both axes are accumulated even when the caller requests only one
+    # (the protector's default verifies a single axis): the marginal
+    # cost is ~1-2 accumulate ops against the k >= 5 multiply-adds per
+    # point, gating the ``cs0`` parfor *reduction* behind a runtime
+    # flag is not a construct parfors reliably supports, and eager
+    # row-checksum callers get the second vector for free.
+
+    @njit(cache=True, parallel=True)
+    def _sweep_2d_cs(src, dst, offs, wts, srx, sry, drx, dry, nx, ny,
+                     const, has_const, cs_like):
+        k = offs.shape[0]
+        cs0 = np.zeros(ny, cs_like.dtype)
+        cs1 = np.zeros(nx, cs_like.dtype)
+        for x in prange(nx):
+            row = np.zeros(ny, cs_like.dtype)
+            s = row[0]  # zero in the checksum dtype
+            for y in range(ny):
+                acc = wts[0] * src[x + srx + offs[0, 0], y + sry + offs[0, 1]]
+                for p in range(1, k):
+                    acc += wts[p] * src[
+                        x + srx + offs[p, 0], y + sry + offs[p, 1]
+                    ]
+                if has_const:
+                    acc += const[x, y]
+                dst[x + drx, y + dry] = acc
+                row[y] = acc
+                s += row[y]
+            cs1[x] = s
+            cs0 += row
+        return cs0, cs1
+
+    @njit(cache=True, parallel=True)
+    def _sweep_3d_cs(src, dst, offs, wts, srx, sry, srz, drx, dry, drz,
+                     nx, ny, nz, const, has_const, cs_like):
+        k = offs.shape[0]
+        cs0 = np.zeros((ny, nz), cs_like.dtype)
+        cs1 = np.zeros((nx, nz), cs_like.dtype)
+        for x in prange(nx):
+            part = np.zeros((ny, nz), cs_like.dtype)
+            for y in range(ny):
+                for z in range(nz):
+                    acc = wts[0] * src[
+                        x + srx + offs[0, 0],
+                        y + sry + offs[0, 1],
+                        z + srz + offs[0, 2],
+                    ]
+                    for p in range(1, k):
+                        acc += wts[p] * src[
+                            x + srx + offs[p, 0],
+                            y + sry + offs[p, 1],
+                            z + srz + offs[p, 2],
+                        ]
+                    if has_const:
+                        acc += const[x, y, z]
+                    dst[x + drx, y + dry, z + drz] = acc
+                    part[y, z] = acc
+                    cs1[x, z] += part[y, z]
+            cs0 += part
+        return cs0, cs1
+
+    # -- compiled ghost refresh ---------------------------------------------
+    #
+    # Mirrors repro.stencil.shift.refresh_ghosts exactly: axis by axis,
+    # where axis k's slabs span the already-refreshed ghost range of
+    # axes < k but only the interior range of axes > k (corners owned by
+    # the highest axis).  Pure copies/fills, so the result is
+    # bit-identical to the interpreted refresh.
+
+    @njit(cache=True)
+    def _refresh_2d(p, rx, ry, nx, ny, kinds, fills):
+        if rx > 0:
+            k0 = kinds[0]
+            for j in range(ry, ry + ny):
+                for g in range(rx):
+                    if k0 == 0:
+                        p[g, j] = p[rx, j]
+                        p[rx + nx + g, j] = p[rx + nx - 1, j]
+                    elif k0 == 1:
+                        p[g, j] = p[nx + g, j]
+                        p[rx + nx + g, j] = p[rx + g, j]
+                    else:
+                        p[g, j] = fills[0]
+                        p[rx + nx + g, j] = fills[0]
+        if ry > 0:
+            k1 = kinds[1]
+            for i in range(nx + 2 * rx):
+                for g in range(ry):
+                    if k1 == 0:
+                        p[i, g] = p[i, ry]
+                        p[i, ry + ny + g] = p[i, ry + ny - 1]
+                    elif k1 == 1:
+                        p[i, g] = p[i, ny + g]
+                        p[i, ry + ny + g] = p[i, ry + g]
+                    else:
+                        p[i, g] = fills[1]
+                        p[i, ry + ny + g] = fills[1]
+
+    @njit(cache=True)
+    def _refresh_3d(p, rx, ry, rz, nx, ny, nz, kinds, fills):
+        if rx > 0:
+            k0 = kinds[0]
+            for j in range(ry, ry + ny):
+                for z in range(rz, rz + nz):
+                    for g in range(rx):
+                        if k0 == 0:
+                            p[g, j, z] = p[rx, j, z]
+                            p[rx + nx + g, j, z] = p[rx + nx - 1, j, z]
+                        elif k0 == 1:
+                            p[g, j, z] = p[nx + g, j, z]
+                            p[rx + nx + g, j, z] = p[rx + g, j, z]
+                        else:
+                            p[g, j, z] = fills[0]
+                            p[rx + nx + g, j, z] = fills[0]
+        if ry > 0:
+            k1 = kinds[1]
+            for i in range(nx + 2 * rx):
+                for z in range(rz, rz + nz):
+                    for g in range(ry):
+                        if k1 == 0:
+                            p[i, g, z] = p[i, ry, z]
+                            p[i, ry + ny + g, z] = p[i, ry + ny - 1, z]
+                        elif k1 == 1:
+                            p[i, g, z] = p[i, ny + g, z]
+                            p[i, ry + ny + g, z] = p[i, ry + g, z]
+                        else:
+                            p[i, g, z] = fills[1]
+                            p[i, ry + ny + g, z] = fills[1]
+        if rz > 0:
+            k2 = kinds[2]
+            for i in range(nx + 2 * rx):
+                for j in range(ny + 2 * ry):
+                    for g in range(rz):
+                        if k2 == 0:
+                            p[i, j, g] = p[i, j, rz]
+                            p[i, j, rz + nz + g] = p[i, j, rz + nz - 1]
+                        elif k2 == 1:
+                            p[i, j, g] = p[i, j, nz + g]
+                            p[i, j, rz + nz + g] = p[i, j, rz + g]
+                        else:
+                            p[i, j, g] = fills[2]
+                            p[i, j, rz + nz + g] = fills[2]
+
+    # -- whole protected step in one compiled call --------------------------
+
+    @njit(cache=True)
+    def _step_2d(src, dst, offs, wts, rx, ry, nx, ny, const, has_const,
+                 kinds, fills):
+        _refresh_2d(src, rx, ry, nx, ny, kinds, fills)
+        _sweep_2d(src, dst, offs, wts, rx, ry, rx, ry, nx, ny,
+                  const, has_const)
+
+    @njit(cache=True)
+    def _step_2d_cs(src, dst, offs, wts, rx, ry, nx, ny, const, has_const,
+                    cs_like, kinds, fills):
+        _refresh_2d(src, rx, ry, nx, ny, kinds, fills)
+        return _sweep_2d_cs(src, dst, offs, wts, rx, ry, rx, ry, nx, ny,
+                            const, has_const, cs_like)
+
+    @njit(cache=True)
+    def _step_3d(src, dst, offs, wts, rx, ry, rz, nx, ny, nz, const,
+                 has_const, kinds, fills):
+        _refresh_3d(src, rx, ry, rz, nx, ny, nz, kinds, fills)
+        _sweep_3d(src, dst, offs, wts, rx, ry, rz, rx, ry, rz, nx, ny, nz,
+                  const, has_const)
+
+    @njit(cache=True)
+    def _step_3d_cs(src, dst, offs, wts, rx, ry, rz, nx, ny, nz, const,
+                    has_const, cs_like, kinds, fills):
+        _refresh_3d(src, rx, ry, rz, nx, ny, nz, kinds, fills)
+        return _sweep_3d_cs(src, dst, offs, wts, rx, ry, rz, rx, ry, rz,
+                            nx, ny, nz, const, has_const, cs_like)
+
+
+class NumbaBackend(Backend):
+    """JIT backend: compiled per-point fusion of refresh + sweep + checksums."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not NUMBA_AVAILABLE:
+            raise RuntimeError(f"the numba backend {UNAVAILABLE_REASON}")
+        self._spec_cache: Dict = {}
+
+    # -- kernel-argument marshalling ----------------------------------------
+    def _spec_arrays(
+        self, spec: StencilSpec, dtype: np.dtype
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Contiguous ``(offsets, weights)`` with weights in the domain dtype.
+
+        Pre-casting the weights keeps the compiled accumulation in the
+        domain dtype (numba would otherwise promote float32*float64 to
+        float64, changing the rounding relative to the reference).
+        """
+        key = (spec, np.dtype(dtype).str)
+        cached = self._spec_cache.get(key)
+        if cached is None:
+            if len(self._spec_cache) >= _MAX_CACHED_SPECS:
+                self._spec_cache.clear()
+            offs = np.ascontiguousarray(spec.offsets, dtype=np.int64)
+            wts = np.ascontiguousarray(spec.weights, dtype=dtype)
+            cached = self._spec_cache[key] = (offs, wts)
+        return cached
+
+    @staticmethod
+    def _const_arg(
+        constant: Optional[np.ndarray], dtype: np.dtype, ndim: int
+    ) -> Tuple[np.ndarray, bool]:
+        """``(array, has_const)`` — a dummy keeps the kernel signature stable."""
+        if constant is None:
+            return np.zeros((1,) * ndim, dtype=dtype), False
+        return np.asarray(constant, dtype=dtype), True
+
+    @staticmethod
+    def _boundary_arrays(
+        bspec: BoundarySpec,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-axis ``(kind codes, fill values)`` for the compiled refresh."""
+        kinds = np.empty(bspec.ndim, dtype=np.int64)
+        fills = np.zeros(bspec.ndim, dtype=np.float64)
+        for axis, bc in enumerate(bspec):
+            if bc.is_clamp:
+                kinds[axis] = _BC_CLAMP
+            elif bc.is_periodic:
+                kinds[axis] = _BC_PERIODIC
+            else:
+                kinds[axis] = _BC_FILL
+                fills[axis] = bc.fill_value()
+        return kinds, fills
+
+    @staticmethod
+    def _checksum_like(checksum_dtype, dtype: np.dtype) -> np.ndarray:
+        """Zero-length dtype carrier for the checksum accumulators."""
+        cs_dtype = dtype if checksum_dtype is None else np.dtype(checksum_dtype)
+        return np.empty(0, dtype=cs_dtype)
+
+    @staticmethod
+    def _select_axes(
+        cs0: np.ndarray, cs1: np.ndarray, axes: Sequence[int]
+    ) -> ChecksumMap:
+        both = {0: cs0, 1: cs1}
+        out: ChecksumMap = {}
+        for axis in axes:
+            axis = int(axis)
+            if axis not in both:
+                raise ValueError(
+                    f"checksum axes must be a subset of (0, 1), got {axis}"
+                )
+            out[axis] = both[axis]
+        return out
+
+    # -- sweeps over trusted ghosts -----------------------------------------
+    def sweep_padded(
+        self,
+        padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        interior_shape, radius = self._normalize_sweep_args(
+            padded, radius, interior_shape, constant, out
+        )
+        dtype = padded.dtype
+        if out is None:
+            out = np.empty(interior_shape, dtype=dtype)
+        offs, wts = self._spec_arrays(spec, dtype)
+        const, has_const = self._const_arg(constant, dtype, padded.ndim)
+        if padded.ndim == 2:
+            _sweep_2d(
+                padded, out, offs, wts, radius[0], radius[1], 0, 0,
+                interior_shape[0], interior_shape[1], const, has_const,
+            )
+        else:
+            _sweep_3d(
+                padded, out, offs, wts, radius[0], radius[1], radius[2],
+                0, 0, 0, interior_shape[0], interior_shape[1],
+                interior_shape[2], const, has_const,
+            )
+        return out
+
+    def sweep_with_checksums(
+        self,
+        padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        axes: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+    ) -> Tuple[np.ndarray, ChecksumMap]:
+        interior_shape, radius = self._normalize_sweep_args(
+            padded, radius, interior_shape, constant, out
+        )
+        dtype = padded.dtype
+        if out is None:
+            out = np.empty(interior_shape, dtype=dtype)
+        offs, wts = self._spec_arrays(spec, dtype)
+        const, has_const = self._const_arg(constant, dtype, padded.ndim)
+        cs_like = self._checksum_like(checksum_dtype, dtype)
+        if padded.ndim == 2:
+            cs0, cs1 = _sweep_2d_cs(
+                padded, out, offs, wts, radius[0], radius[1], 0, 0,
+                interior_shape[0], interior_shape[1], const, has_const,
+                cs_like,
+            )
+        else:
+            cs0, cs1 = _sweep_3d_cs(
+                padded, out, offs, wts, radius[0], radius[1], radius[2],
+                0, 0, 0, interior_shape[0], interior_shape[1],
+                interior_shape[2], const, has_const, cs_like,
+            )
+        return out, self._select_axes(cs0, cs1, axes)
+
+    # -- zero-copy forms -----------------------------------------------------
+    def sweep_into(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        interior = self._dst_interior(dst_padded, radius, interior_shape)
+        if np.may_share_memory(src_padded, dst_padded):
+            # Writing the interior while the sweep still reads the source
+            # would corrupt the result; take the copy-based route.
+            return super().sweep_into(
+                src_padded, dst_padded, spec, radius, interior_shape,
+                constant=constant,
+            )
+        return self.sweep_padded(
+            src_padded, spec, radius, interior_shape, constant=constant,
+            out=interior,
+        )
+
+    def sweep_into_with_checksums(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        axes: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+    ) -> Tuple[np.ndarray, ChecksumMap]:
+        interior = self._dst_interior(dst_padded, radius, interior_shape)
+        if np.may_share_memory(src_padded, dst_padded):
+            return super().sweep_into_with_checksums(
+                src_padded, dst_padded, spec, radius, interior_shape, axes,
+                constant=constant, checksum_dtype=checksum_dtype,
+            )
+        return self.sweep_with_checksums(
+            src_padded, spec, radius, interior_shape, axes,
+            constant=constant, out=interior, checksum_dtype=checksum_dtype,
+        )
+
+    # -- backend-owned fused steps -------------------------------------------
+    def supports_fused_step(
+        self, spec: StencilSpec, boundary, radius, interior_shape: Sequence[int]
+    ) -> bool:
+        """True unless a periodic halo is wider than the interior.
+
+        The in-place compiled refresh needs disjoint wrap source/ghost
+        ranges (the same condition the interpreted ``refresh_ghosts``
+        special-cases); the degenerate configuration falls back to the
+        base refresh-then-sweep step.
+        """
+        from repro.stencil.shift import normalize_radius
+
+        interior_shape = tuple(int(n) for n in interior_shape)
+        if spec.ndim != len(interior_shape) or spec.ndim not in (2, 3):
+            return False
+        radius = normalize_radius(radius, spec.ndim)
+        bspec = BoundarySpec.from_any(boundary, spec.ndim)
+        return not any(
+            bc.is_periodic and r > n
+            for bc, r, n in zip(bspec, radius, interior_shape)
+        )
+
+    def _fused_step_args(
+        self, src_padded, dst_padded, spec, radius, interior_shape, boundary,
+        constant,
+    ):
+        """Marshalled kernel arguments, or ``None`` when the fast path
+        cannot run (degenerate periodic halo, aliasing pair, or a source
+        whose shape does not match ``interior + 2*radius`` exactly)."""
+        from repro.stencil.shift import padded_shape
+
+        bspec = BoundarySpec.from_any(boundary, spec.ndim)
+        if not self.supports_fused_step(spec, bspec, radius, interior_shape):
+            return None
+        interior_shape, radius = self._normalize_sweep_args(
+            src_padded, radius, interior_shape, constant, None
+        )
+        if src_padded.shape != padded_shape(interior_shape, radius):
+            return None
+        if np.may_share_memory(src_padded, dst_padded):
+            return None
+        interior = self._dst_interior(dst_padded, radius, interior_shape)
+        dtype = src_padded.dtype
+        offs, wts = self._spec_arrays(spec, dtype)
+        const, has_const = self._const_arg(constant, dtype, src_padded.ndim)
+        kinds, fills = self._boundary_arrays(bspec)
+        return (
+            interior_shape, radius, interior, offs, wts, const, has_const,
+            kinds, fills,
+        )
+
+    def step_into(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        constant: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        args = self._fused_step_args(
+            src_padded, dst_padded, spec, radius, interior_shape, boundary,
+            constant,
+        )
+        if args is None:
+            return super().step_into(
+                src_padded, dst_padded, spec, radius, interior_shape,
+                boundary, constant=constant,
+            )
+        shape, radius, interior, offs, wts, const, has_const, kinds, fills = args
+        if src_padded.ndim == 2:
+            _step_2d(
+                src_padded, dst_padded, offs, wts, radius[0], radius[1],
+                shape[0], shape[1], const, has_const, kinds, fills,
+            )
+        else:
+            _step_3d(
+                src_padded, dst_padded, offs, wts, radius[0], radius[1],
+                radius[2], shape[0], shape[1], shape[2], const, has_const,
+                kinds, fills,
+            )
+        return interior
+
+    def step_into_with_checksums(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        axes: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+    ) -> Tuple[np.ndarray, ChecksumMap]:
+        args = self._fused_step_args(
+            src_padded, dst_padded, spec, radius, interior_shape, boundary,
+            constant,
+        )
+        if args is None:
+            return super().step_into_with_checksums(
+                src_padded, dst_padded, spec, radius, interior_shape,
+                boundary, axes, constant=constant,
+                checksum_dtype=checksum_dtype,
+            )
+        shape, radius, interior, offs, wts, const, has_const, kinds, fills = args
+        cs_like = self._checksum_like(checksum_dtype, src_padded.dtype)
+        if src_padded.ndim == 2:
+            cs0, cs1 = _step_2d_cs(
+                src_padded, dst_padded, offs, wts, radius[0], radius[1],
+                shape[0], shape[1], const, has_const, cs_like, kinds, fills,
+            )
+        else:
+            cs0, cs1 = _step_3d_cs(
+                src_padded, dst_padded, offs, wts, radius[0], radius[1],
+                radius[2], shape[0], shape[1], shape[2], const, has_const,
+                cs_like, kinds, fills,
+            )
+        return interior, self._select_axes(cs0, cs1, axes)
+
+    # -- warmup ---------------------------------------------------------------
+    def warmup(
+        self,
+        spec: StencilSpec,
+        boundary=None,
+        dtype=np.float32,
+        checksum_dtype=np.float64,
+    ) -> None:
+        """Compile (or load from the on-disk cache) every kernel for ``spec``.
+
+        Runs each primitive once on a ghost-width-scaled toy domain, so
+        the one-off JIT cost is paid here rather than inside a benchmark
+        loop or a worker's first tile.  Numba specializes per array
+        *layout* as well as dtype, so every primitive is exercised twice:
+        on contiguous arrays (the whole-grid pipeline) and on strided
+        views (the tile executors sweep ``padded_tile_view`` slices of
+        the global pair into strided interior slices).  Thanks to
+        ``cache=True`` the compiled artifacts persist on disk:
+        process-pool workers (and later runs) load them instead of
+        recompiling.
+        """
+        from repro.stencil.boundary import BoundaryCondition
+        from repro.stencil.shift import pad_array, padded_shape
+
+        radius = spec.radius()
+        shape = tuple(2 * r + 3 for r in radius)
+        dtype = np.dtype(dtype)
+        if boundary is None:
+            boundary = BoundaryCondition.clamp()
+        bspec = BoundarySpec.from_any(boundary, spec.ndim)
+        u = np.arange(int(np.prod(shape)), dtype=dtype).reshape(shape)
+        padded = pad_array(u, radius, bspec)
+        self.sweep_padded(padded, spec, radius, shape)
+        self.sweep_with_checksums(
+            padded, spec, radius, shape, (0, 1), checksum_dtype=checksum_dtype
+        )
+        dst = np.zeros(padded_shape(shape, radius), dtype=dtype)
+        self.step_into(padded, dst, spec, radius, shape, bspec)
+        self.step_into_with_checksums(
+            padded, dst, spec, radius, shape, bspec, (0, 1),
+            checksum_dtype=checksum_dtype,
+        )
+        # Strided ('A'-layout) specializations: a halo-extended view of a
+        # larger padded array swept into a strided output slice, plus a
+        # strided constant — the exact signatures the tile executors use.
+        big = pad_array(
+            np.arange(
+                int(np.prod(tuple(n + 1 for n in shape))), dtype=dtype
+            ).reshape(tuple(n + 1 for n in shape)),
+            radius,
+            bspec,
+        )
+        trim = tuple(slice(0, n + 2 * r) for n, r in zip(shape, radius))
+        ptile = big[trim]
+        out_store = np.zeros(tuple(n + 1 for n in shape), dtype=dtype)
+        out_view = out_store[tuple(slice(0, n) for n in shape)]
+        const_view = big[tuple(slice(0, n) for n in shape)]
+        self.sweep_padded(
+            ptile, spec, radius, shape, constant=const_view, out=out_view
+        )
+        self.sweep_with_checksums(
+            ptile, spec, radius, shape, (0, 1), constant=const_view,
+            out=out_view, checksum_dtype=checksum_dtype,
+        )

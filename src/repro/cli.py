@@ -33,6 +33,7 @@ from repro.backends import (
     default_backend_name,
     get_backend,
     set_default_backend,
+    unavailable_backends,
 )
 from repro.parallel.executor import (
     available_executors,
@@ -129,7 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     subparsers.add_parser(
-        "backends", help="list the registered compute backends"
+        "backends",
+        help="list compute backends, including optional ones that are "
+        "unavailable in this environment (e.g. numba without the package)",
     )
     subparsers.add_parser(
         "executors", help="list the available tile executors"
@@ -155,6 +158,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backend = get_backend(name)
             marker = " (default)" if name == default else ""
             print(f"{name:12s} -> {type(backend).__name__}{marker}")
+        for name, reason in unavailable_backends().items():
+            print(f"{name:12s} -> unavailable ({reason})")
         return 0
 
     if args.command == "executors":

@@ -117,6 +117,14 @@ class TiledStencilRunner:
         self.radius = grid.spec.radius()
         self._const_shm = None
         self._const_name: Optional[str] = None
+        # Compile-once warmup (no-op for the interpreted backends): a JIT
+        # backend compiles — and writes to its on-disk cache — every
+        # kernel this operator needs before the first step, so neither
+        # the timed loop nor the pool's worker processes (which load the
+        # cached artifacts instead of recompiling) pay the JIT cost
+        # mid-run.
+        warm_backend = self.backend if self.backend is not None else grid.backend
+        warm_backend.warmup(grid.spec, grid.boundary, grid.dtype)
 
     # -- constructors ------------------------------------------------------------
     @classmethod

@@ -13,6 +13,12 @@ path by keeping *two* persistent padded buffers:
 * the pair then swaps, so the buffer that held step ``t`` becomes the
   scratch target for step ``t+2``.
 
+:meth:`DoubleBufferedGrid.step` drives both stages through the
+backend's ``step_into*`` primitives in one call, so a backend that owns
+its own ghost refresh (e.g. the numba JIT backend) can perform the
+whole protected iteration — refresh, sweep and per-point checksums —
+in a single compiled traversal of the pair.
+
 The previous step therefore stays alive exactly one iteration — long
 enough for the ABFT protectors, which read ``grid.previous_padded``
 immediately after each sweep, and no longer.
@@ -131,6 +137,59 @@ class DoubleBufferedGrid:
         injected faults) are reflected in the halo.
         """
         return refresh_ghosts(self._front, self.radius, self.boundary)
+
+    def step(
+        self,
+        backend,
+        spec,
+        constant: Optional[np.ndarray] = None,
+        axes: Optional[Sequence[int]] = None,
+        checksum_dtype=None,
+    ):
+        """One backend-owned sweep of the pair: refresh + sweep (+ checksums).
+
+        This is the fast path of the per-step lifecycle: the whole
+        iteration — ghost refresh of the front buffer, sweep into the
+        back buffer and (with ``axes``) per-axis checksum accumulation —
+        is delegated to the backend's ``step_into`` /
+        ``step_into_with_checksums`` primitive.  A backend that fuses
+        the refresh into its compiled sweep (``supports_fused_step``)
+        therefore performs the entire protected iteration in a single
+        traversal of the pair; every other backend transparently gets
+        the classic :meth:`refresh`-then-``sweep_into`` sequence from
+        the base-class implementation.  Either way the front buffer's
+        halo is consistent with its interior afterwards — the ABFT
+        protectors read it as ``previous_padded``.
+
+        The pair is **not** swapped: callers (``GridBase._commit``)
+        own the swap so previous-step bookkeeping stays in one place.
+
+        Returns ``(src_padded, new_interior, checksums)`` where
+        ``checksums`` is ``None`` when ``axes`` is ``None``.
+        """
+        if axes is None:
+            new = backend.step_into(
+                self._front,
+                self._back,
+                spec,
+                self.radius,
+                self.interior_shape,
+                self.boundary,
+                constant=constant,
+            )
+            return self._front, new, None
+        new, checksums = backend.step_into_with_checksums(
+            self._front,
+            self._back,
+            spec,
+            self.radius,
+            self.interior_shape,
+            self.boundary,
+            axes,
+            constant=constant,
+            checksum_dtype=checksum_dtype,
+        )
+        return self._front, new, checksums
 
     def swap(self) -> None:
         """Exchange front and back (the freshly swept back becomes current)."""

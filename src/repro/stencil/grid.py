@@ -206,8 +206,13 @@ class GridBase:
     ) -> np.ndarray:
         """Advance one stencil sweep and return the new domain.
 
-        The sweep writes the new interior directly into the back buffer
-        (``Backend.sweep_into``); no full-domain allocation is made.
+        The sweep writes the new interior directly into the back buffer;
+        no full-domain allocation is made.  When the grid reads its own
+        front buffer (``padded=None``) the whole iteration — ghost
+        refresh included — is delegated to the backend through
+        :meth:`DoubleBufferedGrid.step`, so a backend that fuses the
+        refresh into its compiled sweep performs the step in a single
+        traversal of the pair.
 
         Parameters
         ----------
@@ -222,15 +227,18 @@ class GridBase:
         """
         be = self.backend if backend is None else get_backend(backend)
         if padded is None:
-            padded = self.buffers.refresh()
-        new = be.sweep_into(
-            padded,
-            self.buffers.back,
-            self.spec,
-            self.radius,
-            self.shape,
-            constant=self.constant,
-        )
+            padded, new, _ = self.buffers.step(
+                be, self.spec, constant=self.constant
+            )
+        else:
+            new = be.sweep_into(
+                padded,
+                self.buffers.back,
+                self.spec,
+                self.radius,
+                self.shape,
+                constant=self.constant,
+            )
         self._commit(padded, None)
         return new
 
@@ -246,7 +254,9 @@ class GridBase:
         Delegates to the backend's fused sweep+checksum primitive, so the
         verified checksum is produced by the sweep itself (the paper's
         fused kernel) instead of a separate pass.  The checksums are also
-        stored in :attr:`last_checksums`.
+        stored in :attr:`last_checksums`.  As with :meth:`step`, a grid
+        reading its own front buffer hands the *whole* iteration (ghost
+        refresh, sweep and checksums) to the backend in one call.
 
         Parameters
         ----------
@@ -259,17 +269,24 @@ class GridBase:
         """
         be = self.backend if backend is None else get_backend(backend)
         if padded is None:
-            padded = self.buffers.refresh()
-        new, checksums = be.sweep_into_with_checksums(
-            padded,
-            self.buffers.back,
-            self.spec,
-            self.radius,
-            self.shape,
-            axes,
-            constant=self.constant,
-            checksum_dtype=checksum_dtype,
-        )
+            padded, new, checksums = self.buffers.step(
+                be,
+                self.spec,
+                constant=self.constant,
+                axes=axes,
+                checksum_dtype=checksum_dtype,
+            )
+        else:
+            new, checksums = be.sweep_into_with_checksums(
+                padded,
+                self.buffers.back,
+                self.spec,
+                self.radius,
+                self.shape,
+                axes,
+                constant=self.constant,
+                checksum_dtype=checksum_dtype,
+            )
         self._commit(padded, checksums)
         return new, checksums
 

@@ -1,0 +1,222 @@
+"""Interpreted validation of the numba backend's kernel *logic*.
+
+The numba backend's kernels only execute where ``numba`` is installed
+(the JIT job of the CI matrix), which would leave their index
+arithmetic, boundary corner ownership and per-point checksum
+accumulation untested everywhere else.  This module closes that gap:
+when numba is absent, it installs a stub ``numba`` module whose
+``njit`` is an identity decorator and whose ``prange`` is ``range``,
+reloads ``repro.backends.numba_backend`` against it and runs the
+kernels as plain Python over NumPy arrays.  Everything except
+compilation itself — ghost-refresh slab semantics, offset indexing,
+accumulation order and dtype handling — is exercised bit for bit.
+
+When the real numba *is* installed these tests are skipped: the main
+suite (``tests/test_backends.py`` with the backend registered) already
+runs the compiled kernels directly.
+
+The registry is never touched — the backend instance under test is
+constructed from the reloaded module — and the module is reloaded once
+more on teardown so the rest of the suite sees the genuine
+``NUMBA_AVAILABLE`` state.
+"""
+
+import importlib
+import importlib.machinery
+import sys
+import types
+
+import numpy as np
+import pytest
+
+from conftest import all_boundary_conditions
+
+from repro.backends import get_backend
+from repro.backends.numba_backend import NUMBA_AVAILABLE
+from repro.core.checksums import checksum
+from repro.stencil import kernels
+from repro.stencil.boundary import BoundaryCondition
+from repro.stencil.shift import (
+    interior_view,
+    pad_array,
+    padded_shape,
+    refresh_ghosts,
+)
+from repro.stencil.spec import StencilSpec
+
+pytestmark = pytest.mark.skipif(
+    NUMBA_AVAILABLE,
+    reason="real numba installed: the compiled kernels are tested by the "
+    "main suite with the backend registered",
+)
+
+SHAPE_2D = (24, 18)
+SHAPE_3D = (12, 10, 4)
+
+
+def _make_stub_numba() -> types.ModuleType:
+    stub = types.ModuleType("numba")
+    stub.__spec__ = importlib.machinery.ModuleSpec("numba", loader=None)
+
+    def njit(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+
+        def deco(fn):
+            return fn
+
+        return deco
+
+    stub.njit = njit
+    stub.prange = range
+    return stub
+
+
+@pytest.fixture(scope="module")
+def interpreted_backend():
+    """A ``NumbaBackend`` whose kernels run as plain Python."""
+    import repro.backends.numba_backend as mod
+
+    sys.modules["numba"] = _make_stub_numba()
+    try:
+        mod = importlib.reload(mod)
+        assert mod.NUMBA_AVAILABLE  # the stub satisfies the import gate
+        yield mod.NumbaBackend()
+    finally:
+        sys.modules.pop("numba", None)
+        importlib.reload(mod)  # restore the genuine gate state
+
+
+def _poisoned_pair(u, radius):
+    """(src, dst) padded pair, halos poisoned so a skipped refresh shows."""
+    shape = padded_shape(u.shape, radius)
+    src = np.full(shape, np.nan, dtype=u.dtype)
+    interior_view(src, radius)[...] = u
+    dst = np.full(shape, np.nan, dtype=u.dtype)
+    return src, dst
+
+
+def _domain(rng, shape):
+    return (rng.random(shape) * 100.0).astype(np.float32)
+
+
+@pytest.mark.parametrize(
+    "spec,shape",
+    [
+        (kernels.nine_point_smoothing(), SHAPE_2D),
+        (kernels.asymmetric_advection_2d(), SHAPE_2D),
+        (kernels.twenty_seven_point_3d(), SHAPE_3D),
+        (kernels.asymmetric_advection_3d(), SHAPE_3D),
+    ],
+    ids=["9pt-2d", "advect-2d", "27pt-3d", "advect-3d"],
+)
+@pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+def test_sweep_and_checksums_match_reference(
+    interpreted_backend, rng, spec, shape, bc
+):
+    be = interpreted_backend
+    ref = get_backend("numpy")
+    u = _domain(rng, shape)
+    const = (rng.random(shape) * 0.1).astype(np.float32)
+    radius = spec.radius()
+    padded = pad_array(u, radius, bc)
+    expected = ref.sweep_padded(padded, spec, radius, shape, constant=const)
+    new, cs = be.sweep_with_checksums(
+        padded, spec, radius, shape, (0, 1), constant=const,
+        checksum_dtype=np.float64,
+    )
+    scale = np.maximum(np.abs(expected), 1.0)
+    assert float(np.max(np.abs(new - expected) / scale)) < 1e-5
+    for axis in (0, 1):
+        posthoc = checksum(new, axis, dtype=np.float64)
+        cscale = np.maximum(np.abs(posthoc), 1.0)
+        assert float(np.max(np.abs(cs[axis] - posthoc) / cscale)) < 1e-10
+
+
+@pytest.mark.parametrize(
+    "spec,shape,boundary",
+    [
+        (kernels.nine_point_smoothing(), SHAPE_2D, BoundaryCondition.clamp()),
+        (kernels.nine_point_smoothing(), SHAPE_2D, BoundaryCondition.periodic()),
+        (
+            kernels.nine_point_smoothing(),
+            SHAPE_2D,
+            (BoundaryCondition.clamp(), BoundaryCondition.constant(2.5)),
+        ),
+        (
+            kernels.nine_point_smoothing(),
+            SHAPE_2D,
+            (BoundaryCondition.constant(1.5), BoundaryCondition.constant(-3.0)),
+        ),
+        (
+            kernels.nine_point_smoothing(),
+            SHAPE_2D,
+            (BoundaryCondition.zero(), BoundaryCondition.periodic()),
+        ),
+        (kernels.twenty_seven_point_3d(), SHAPE_3D, BoundaryCondition.periodic()),
+        (
+            kernels.twenty_seven_point_3d(),
+            SHAPE_3D,
+            (
+                BoundaryCondition.clamp(),
+                BoundaryCondition.periodic(),
+                BoundaryCondition.zero(),
+            ),
+        ),
+        (
+            kernels.twenty_seven_point_3d(),
+            SHAPE_3D,
+            (
+                BoundaryCondition.constant(4.0),
+                BoundaryCondition.clamp(),
+                BoundaryCondition.constant(-1.0),
+            ),
+        ),
+    ],
+    ids=[
+        "2d-clamp", "2d-periodic", "2d-clamp+const", "2d-const+const",
+        "2d-zero+periodic", "3d-periodic", "3d-mixed", "3d-const-mixed",
+    ],
+)
+def test_fused_refresh_bit_identical(
+    interpreted_backend, rng, spec, shape, boundary
+):
+    """The compiled refresh inside ``step_into`` must leave the source
+    halo (corners included — they are owned by the highest axis) exactly
+    as ``refresh_ghosts`` does, and the swept result must match the
+    refresh-then-sweep path bit for bit."""
+    be = interpreted_backend
+    u = _domain(rng, shape)
+    radius = spec.radius()
+    src_ref, dst_ref = _poisoned_pair(u, radius)
+    refresh_ghosts(src_ref, radius, boundary)
+    expected = be.sweep_into(src_ref, dst_ref, spec, radius, shape)
+    src, dst = _poisoned_pair(u, radius)
+    result = be.step_into(src, dst, spec, radius, shape, boundary)
+    np.testing.assert_array_equal(result, expected)
+    np.testing.assert_array_equal(src, src_ref)
+
+
+def test_degenerate_periodic_declined(interpreted_backend, rng):
+    be = interpreted_backend
+    wide = StencilSpec.from_dict(
+        {(-2, 0): 0.2, (2, 0): 0.2, (0, -1): 0.3, (0, 1): 0.3}
+    )
+    shape = (1, 6)
+    bc = BoundaryCondition.periodic()
+    assert not be.supports_fused_step(wide, bc, wide.radius(), shape)
+    u = _domain(rng, shape)
+    expected = get_backend("numpy").sweep_padded(
+        pad_array(u, wide.radius(), bc), wide, wide.radius(), shape
+    )
+    src, dst = _poisoned_pair(u, wide.radius())
+    result = be.step_into(src, dst, wide, wide.radius(), shape, bc)
+    np.testing.assert_allclose(result, expected, rtol=1e-6)
+
+
+def test_warmup_exercises_every_kernel_family(interpreted_backend):
+    be = interpreted_backend
+    be.warmup(kernels.five_point_diffusion(0.2), BoundaryCondition.clamp())
+    be.warmup(
+        kernels.seven_point_diffusion_3d(0.1), BoundaryCondition.periodic()
+    )

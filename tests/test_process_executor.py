@@ -247,6 +247,60 @@ class TestProcessRunnerEquivalence:
             np.testing.assert_array_equal(serial.grid.u, threaded.grid.u)
 
 
+class TestTileBatching:
+    """map_tiles groups tiles into one task per worker per step."""
+
+    def test_empty_task_list(self):
+        with ProcessPoolTileExecutor(workers=WORKERS) as pool:
+            assert pool.map_tiles([]) == []
+
+    def test_more_tiles_than_workers_matches_serial(self):
+        """A 3x3 tiling on a narrower pool: batches are uneven (the
+        first batches carry the extra tiles) and the flattened results
+        must keep per-tile order and serial semantics bit for bit."""
+        seed = 21
+        serial = TiledStencilRunner.with_online_abft(
+            _grid_2d(np.random.default_rng(seed), size=(33, 27)), (3, 3),
+            executor=SerialExecutor(), epsilon=1e-5,
+        )
+        serial.run(4)
+        with ProcessPoolTileExecutor(workers=WORKERS) as pool:
+            proc = TiledStencilRunner.with_online_abft(
+                _grid_2d(np.random.default_rng(seed), size=(33, 27)), (3, 3),
+                executor=pool, epsilon=1e-5,
+            )
+            try:
+                proc.run(4)
+                np.testing.assert_array_equal(serial.grid.u, proc.grid.u)
+                assert proc.total_detected() == serial.total_detected() == 0
+            finally:
+                proc.shutdown()
+
+    def test_injection_with_batched_tiles(self):
+        def inject(grid, iteration):
+            if iteration == 2:
+                grid.u[20, 20] += 1024.0
+
+        seed = 22
+        serial = TiledStencilRunner.with_online_abft(
+            _grid_2d(np.random.default_rng(seed), size=(33, 27)), (3, 3),
+            executor=SerialExecutor(), epsilon=1e-5,
+        )
+        serial.run(4, inject=inject)
+        with ProcessPoolTileExecutor(workers=WORKERS) as pool:
+            proc = TiledStencilRunner.with_online_abft(
+                _grid_2d(np.random.default_rng(seed), size=(33, 27)), (3, 3),
+                executor=pool, epsilon=1e-5,
+            )
+            try:
+                proc.run(4, inject=inject)
+                np.testing.assert_array_equal(serial.grid.u, proc.grid.u)
+                assert proc.total_detected() == serial.total_detected() == 1
+                assert proc.total_corrected() == serial.total_corrected() == 1
+            finally:
+                proc.shutdown()
+
+
 class TestSharedMemoryLifecycle:
     def test_buffers_migrate_once_and_release(self):
         rng = np.random.default_rng(17)
