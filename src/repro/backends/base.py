@@ -289,6 +289,7 @@ class Backend(ABC):
         interior_shape: Sequence[int],
         boundary,
         constant: Optional[np.ndarray] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """One full step of a buffer pair: ghost refresh + sweep.
 
@@ -300,11 +301,18 @@ class Backend(ABC):
         (tile views carrying neighbour data) must keep using
         ``sweep_into``.
 
+        ``refresh_axes`` restricts the ghost refresh to a subset of axes
+        (``None`` → all).  This is the distributed-runner hook: a rank
+        buffer's halo slabs along the distributed axis are ingested from
+        neighbour messages *before* the step, so only the remaining
+        axes' ghosts are (re)built from the boundary condition — see
+        :func:`repro.stencil.shift.refresh_ghosts`.
+
         Returns the destination interior view.
         """
         from repro.stencil.shift import refresh_ghosts
 
-        refresh_ghosts(src_padded, radius, boundary)
+        refresh_ghosts(src_padded, radius, boundary, axes=refresh_axes)
         return self.sweep_into(
             src_padded, dst_padded, spec, radius, interior_shape, constant=constant
         )
@@ -320,17 +328,19 @@ class Backend(ABC):
         axes: Sequence[int],
         constant: Optional[np.ndarray] = None,
         checksum_dtype: Optional[np.dtype] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
     ) -> Tuple[np.ndarray, ChecksumMap]:
         """Fused form of :meth:`step_into`: also checksum the new interior.
 
         This is the whole protected iteration as one backend-owned
         operation — the primitive a JIT backend compiles into a single
         traversal of the pair (ghost refresh, sweep and per-point
-        checksum accumulation in one pass).
+        checksum accumulation in one pass).  ``refresh_axes`` restricts
+        the refresh exactly as in :meth:`step_into`.
         """
         from repro.stencil.shift import refresh_ghosts
 
-        refresh_ghosts(src_padded, radius, boundary)
+        refresh_ghosts(src_padded, radius, boundary, axes=refresh_axes)
         return self.sweep_into_with_checksums(
             src_padded,
             dst_padded,

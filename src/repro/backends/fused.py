@@ -59,11 +59,20 @@ class FusedBackend(Backend):
     def __init__(self) -> None:
         self._local = threading.local()
 
-    def _scratch(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    def _scratch(
+        self, shape: Tuple[int, ...], dtype: np.dtype, slot: int = 0
+    ) -> np.ndarray:
+        """Per-thread persistent scratch buffer for ``shape``/``dtype``.
+
+        ``slot`` distinguishes independent buffers of the same shape:
+        slot 0 is the accumulation scratch of :meth:`sweep_padded`,
+        slot 1 the contiguous output staging buffer of
+        :meth:`sweep_into` (both can be live during one sweep).
+        """
         cache: Optional[Dict] = getattr(self._local, "cache", None)
         if cache is None:
             cache = self._local.cache = {}
-        key = (shape, np.dtype(dtype).str)
+        key = (shape, np.dtype(dtype).str, slot)
         buf = cache.get(key)
         if buf is None:
             if len(cache) >= _MAX_CACHED_SCRATCH:
@@ -127,12 +136,21 @@ class FusedBackend(Backend):
         interior_shape: Sequence[int],
         constant: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Zero-copy sweep: accumulate directly into the destination interior.
+        """Zero-copy sweep: materialise the new step inside the destination.
 
         Combined with the scratch-buffer accumulation of
         :meth:`sweep_padded`, a double-buffered step performs **no**
         full-domain allocation at all — the acceptance property the
         benchmark's tracemalloc gate verifies.
+
+        The destination interior of a padded buffer is a *strided* view
+        (each row is followed by ghost cells), and NumPy's ufunc inner
+        loops pay a measurable penalty accumulating into it (~30% on a
+        256x1024 float32 block).  When the interior is not contiguous
+        the sweep therefore accumulates into a persistent contiguous
+        staging buffer and lands in the interior with one vectorised
+        copy (~4% instead) — same operation order, bitwise-identical
+        result, still no per-step allocation.
         """
         interior = self._dst_interior(dst_padded, radius, interior_shape)
         if np.may_share_memory(src_padded, dst_padded):
@@ -140,7 +158,15 @@ class FusedBackend(Backend):
                 src_padded, dst_padded, spec, radius, interior_shape,
                 constant=constant,
             )
-        return self.sweep_padded(
+        if interior.flags.c_contiguous:
+            return self.sweep_padded(
+                src_padded, spec, radius, interior_shape, constant=constant,
+                out=interior,
+            )
+        staging = self._scratch(interior.shape, interior.dtype, slot=1)
+        self.sweep_padded(
             src_padded, spec, radius, interior_shape, constant=constant,
-            out=interior,
+            out=staging,
         )
+        interior[...] = staging
+        return interior

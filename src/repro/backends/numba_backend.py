@@ -71,7 +71,10 @@ UNAVAILABLE_REASON = (
 _MAX_CACHED_SPECS = 16
 
 #: Boundary-kind codes shared between Python and the compiled kernels.
-_BC_CLAMP, _BC_PERIODIC, _BC_FILL = 0, 1, 2
+#: ``_BC_EXTERNAL`` marks an axis whose ghost slabs are managed outside
+#: the backend (halo ingestion in the distributed runner): the compiled
+#: refresh leaves them untouched and later axes span them like interior.
+_BC_CLAMP, _BC_PERIODIC, _BC_FILL, _BC_EXTERNAL = 0, 1, 2, 3
 
 
 if NUMBA_AVAILABLE:  # pragma: no branch - gate evaluated once at import
@@ -202,7 +205,7 @@ if NUMBA_AVAILABLE:  # pragma: no branch - gate evaluated once at import
 
     @njit(cache=True)
     def _refresh_2d(p, rx, ry, nx, ny, kinds, fills):
-        if rx > 0:
+        if rx > 0 and kinds[0] != 3:
             k0 = kinds[0]
             for j in range(ry, ry + ny):
                 for g in range(rx):
@@ -215,7 +218,7 @@ if NUMBA_AVAILABLE:  # pragma: no branch - gate evaluated once at import
                     else:
                         p[g, j] = fills[0]
                         p[rx + nx + g, j] = fills[0]
-        if ry > 0:
+        if ry > 0 and kinds[1] != 3:
             k1 = kinds[1]
             for i in range(nx + 2 * rx):
                 for g in range(ry):
@@ -231,7 +234,7 @@ if NUMBA_AVAILABLE:  # pragma: no branch - gate evaluated once at import
 
     @njit(cache=True)
     def _refresh_3d(p, rx, ry, rz, nx, ny, nz, kinds, fills):
-        if rx > 0:
+        if rx > 0 and kinds[0] != 3:
             k0 = kinds[0]
             for j in range(ry, ry + ny):
                 for z in range(rz, rz + nz):
@@ -245,7 +248,7 @@ if NUMBA_AVAILABLE:  # pragma: no branch - gate evaluated once at import
                         else:
                             p[g, j, z] = fills[0]
                             p[rx + nx + g, j, z] = fills[0]
-        if ry > 0:
+        if ry > 0 and kinds[1] != 3:
             k1 = kinds[1]
             for i in range(nx + 2 * rx):
                 for z in range(rz, rz + nz):
@@ -259,7 +262,7 @@ if NUMBA_AVAILABLE:  # pragma: no branch - gate evaluated once at import
                         else:
                             p[i, g, z] = fills[1]
                             p[i, ry + ny + g, z] = fills[1]
-        if rz > 0:
+        if rz > 0 and kinds[2] != 3:
             k2 = kinds[2]
             for i in range(nx + 2 * rx):
                 for j in range(ny + 2 * ry):
@@ -347,12 +350,21 @@ class NumbaBackend(Backend):
     @staticmethod
     def _boundary_arrays(
         bspec: BoundarySpec,
+        refresh_axes: Optional[Sequence[int]] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-axis ``(kind codes, fill values)`` for the compiled refresh."""
+        """Per-axis ``(kind codes, fill values)`` for the compiled refresh.
+
+        Axes outside ``refresh_axes`` (``None`` → all) are marked
+        ``_BC_EXTERNAL``: the compiled refresh skips their slabs — the
+        distributed runner has already ingested halo data there.
+        """
+        keep = None if refresh_axes is None else {int(a) for a in refresh_axes}
         kinds = np.empty(bspec.ndim, dtype=np.int64)
         fills = np.zeros(bspec.ndim, dtype=np.float64)
         for axis, bc in enumerate(bspec):
-            if bc.is_clamp:
+            if keep is not None and axis not in keep:
+                kinds[axis] = _BC_EXTERNAL
+            elif bc.is_clamp:
                 kinds[axis] = _BC_CLAMP
             elif bc.is_periodic:
                 kinds[axis] = _BC_PERIODIC
@@ -517,14 +529,26 @@ class NumbaBackend(Backend):
 
     def _fused_step_args(
         self, src_padded, dst_padded, spec, radius, interior_shape, boundary,
-        constant,
+        constant, refresh_axes=None,
     ):
         """Marshalled kernel arguments, or ``None`` when the fast path
-        cannot run (degenerate periodic halo, aliasing pair, or a source
-        whose shape does not match ``interior + 2*radius`` exactly)."""
+        cannot run (degenerate periodic halo, aliasing pair, a source
+        whose shape does not match ``interior + 2*radius`` exactly, or a
+        partial refresh whose external axes do not all precede the
+        refreshed ones)."""
         from repro.stencil.shift import padded_shape
 
         bspec = BoundarySpec.from_any(boundary, spec.ndim)
+        if refresh_axes is not None:
+            # The compiled refresh fills axis k's slabs over the *interior*
+            # range of axes > k; the interpreted partial refresh treats an
+            # external axis as zero-radius (full extent).  The two agree
+            # only when every externally managed axis comes before every
+            # refreshed axis — the distributed layout (external axis 0).
+            keep = {int(a) for a in refresh_axes}
+            external = [a for a in range(spec.ndim) if a not in keep]
+            if external and keep and max(external) > min(keep):
+                return None
         if not self.supports_fused_step(spec, bspec, radius, interior_shape):
             return None
         interior_shape, radius = self._normalize_sweep_args(
@@ -538,7 +562,7 @@ class NumbaBackend(Backend):
         dtype = src_padded.dtype
         offs, wts = self._spec_arrays(spec, dtype)
         const, has_const = self._const_arg(constant, dtype, src_padded.ndim)
-        kinds, fills = self._boundary_arrays(bspec)
+        kinds, fills = self._boundary_arrays(bspec, refresh_axes)
         return (
             interior_shape, radius, interior, offs, wts, const, has_const,
             kinds, fills,
@@ -553,15 +577,16 @@ class NumbaBackend(Backend):
         interior_shape: Sequence[int],
         boundary,
         constant: Optional[np.ndarray] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         args = self._fused_step_args(
             src_padded, dst_padded, spec, radius, interior_shape, boundary,
-            constant,
+            constant, refresh_axes,
         )
         if args is None:
             return super().step_into(
                 src_padded, dst_padded, spec, radius, interior_shape,
-                boundary, constant=constant,
+                boundary, constant=constant, refresh_axes=refresh_axes,
             )
         shape, radius, interior, offs, wts, const, has_const, kinds, fills = args
         if src_padded.ndim == 2:
@@ -588,16 +613,17 @@ class NumbaBackend(Backend):
         axes: Sequence[int],
         constant: Optional[np.ndarray] = None,
         checksum_dtype: Optional[np.dtype] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
     ) -> Tuple[np.ndarray, ChecksumMap]:
         args = self._fused_step_args(
             src_padded, dst_padded, spec, radius, interior_shape, boundary,
-            constant,
+            constant, refresh_axes,
         )
         if args is None:
             return super().step_into_with_checksums(
                 src_padded, dst_padded, spec, radius, interior_shape,
                 boundary, axes, constant=constant,
-                checksum_dtype=checksum_dtype,
+                checksum_dtype=checksum_dtype, refresh_axes=refresh_axes,
             )
         shape, radius, interior, offs, wts, const, has_const, kinds, fills = args
         cs_like = self._checksum_like(checksum_dtype, src_padded.dtype)

@@ -11,6 +11,12 @@ few percent.
 Fault-model note: the injection hook corrupts the grid's freshly swept
 domain, which plays the role of replica 1; the two redundant replicas
 are recomputed from the (still intact) previous padded state.
+
+The redundant replicas run through the grid's own compute backend
+(``grid.backend.sweep_padded``) into two *persistent* replica buffers,
+so a TMR step costs exactly two extra backend sweeps — no per-replica
+padding and no per-replica full-domain allocation beyond the two
+buffers the protector owns for its lifetime.
 """
 
 from __future__ import annotations
@@ -21,7 +27,6 @@ import numpy as np
 
 from repro.core.protector import InjectHook, Protector, StepReport
 from repro.stencil.grid import GridBase
-from repro.stencil.sweep import sweep_padded
 
 __all__ = ["TMRProtector"]
 
@@ -46,11 +51,23 @@ class TMRProtector(Protector):
         self.total_detections = 0
         self.total_corrections = 0
         self.total_uncorrected = 0
+        self._replicas = None
 
     def reset(self) -> None:
         self.total_detections = 0
         self.total_corrections = 0
         self.total_uncorrected = 0
+        self._replicas = None
+
+    def _replica_buffers(self, like: np.ndarray):
+        """Two persistent replica output buffers matching the domain."""
+        if (
+            self._replicas is None
+            or self._replicas[0].shape != like.shape
+            or self._replicas[0].dtype != like.dtype
+        ):
+            self._replicas = (np.empty_like(like), np.empty_like(like))
+        return self._replicas
 
     def _disagrees(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         if self.rtol == 0.0:
@@ -64,12 +81,20 @@ class TMRProtector(Protector):
             inject(grid, grid.iteration)
         padded_prev = grid.previous_padded
 
+        # Replicas 2 and 3 re-run the sweep on the grid's backend from
+        # the already-padded previous buffer into persistent output
+        # buffers: two extra backend sweeps, zero extra padding and zero
+        # per-step full-domain allocations.
+        backend = grid.backend
+        buf_2, buf_3 = self._replica_buffers(grid.u)
         replica_1 = grid.u
-        replica_2 = sweep_padded(
-            padded_prev, grid.spec, grid.radius, grid.shape, constant=grid.constant
+        replica_2 = backend.sweep_padded(
+            padded_prev, grid.spec, grid.radius, grid.shape,
+            constant=grid.constant, out=buf_2,
         )
-        replica_3 = sweep_padded(
-            padded_prev, grid.spec, grid.radius, grid.shape, constant=grid.constant
+        replica_3 = backend.sweep_padded(
+            padded_prev, grid.spec, grid.radius, grid.shape,
+            constant=grid.constant, out=buf_3,
         )
 
         report = StepReport(iteration=grid.iteration, detection_performed=True)

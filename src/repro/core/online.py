@@ -242,8 +242,11 @@ class OnlineABFT(Protector):
         the interior produced by the sweep, ``padded_prev`` is the
         ghost-padded step-``t`` domain the sweep read (its ghost cells may
         come from a closed boundary condition *or* from halo exchange with
-        neighbouring tiles — the interpolation handles both identically).
-        The parallel tile runner calls this directly, one call per tile.
+        neighbouring tiles/ranks — the interpolation handles both
+        identically).  The parallel tile runner calls this directly, one
+        call per tile, and so does the distributed runner, one call per
+        rank with the rank's pre-swap front buffer as ``padded_prev`` and
+        the fused per-rank checksums as ``precomputed_checksums``.
 
         ``precomputed_checksums`` carries checksums of ``u_new`` already
         produced by a fused sweep (``{axis: vector}``); any axis present

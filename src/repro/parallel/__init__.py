@@ -19,9 +19,12 @@ This subpackage exercises that property in two settings:
 ``simmpi``
     A small simulated message-passing layer (ranks, Send/Recv
     mailboxes) and a distributed runner in which each rank owns a
-    contiguous block of the domain, exchanges halo strips with its
-    neighbours explicitly, and runs its own ABFT verification — the
-    distributed-memory setting of the paper, without requiring MPI.
+    persistent padded buffer pair for its contiguous block of the
+    domain, receives halo strips straight into its front buffer's ghost
+    slabs, sweeps through the backend's fused step primitive and runs
+    its own ABFT verification — the distributed-memory setting of the
+    paper, without requiring MPI and without any full-block allocation
+    per iteration.
 """
 
 from repro.parallel.decomposition import TileBox, partition_extent, decompose, decompose_layers

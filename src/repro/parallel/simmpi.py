@@ -2,20 +2,31 @@
 
 The paper argues its ABFT scheme applies unchanged to distributed-memory
 systems because every rank protects its own block with its own checksum
-vectors. Real MPI is not available in this environment, so this module
-provides a small deterministic stand-in:
+vectors — the property it calls "intrinsically parallel" (Section 5.2):
+no global reduction or cross-rank checksum is ever needed, so the
+protection overhead stays flat under weak scaling.  Real MPI is not
+available in this environment, so this module provides a small
+deterministic stand-in:
 
 * :class:`SimChannel` — an in-memory mailbox with ``send``/``recv``
   keyed by (source, destination, tag); payloads are copied on send, so
-  ranks cannot share memory by accident.
-* :class:`SimRank` — one rank's state: its contiguous block of the
-  domain (split along axis 0), its constant-term block and its own
+  ranks cannot share memory by accident.  Message and byte counts are
+  tracked globally and per tag for the weak-scaling benchmark.
+* :class:`SimRank` — one rank's state: a persistent padded
+  :class:`~repro.stencil.doublebuffer.DoubleBufferedGrid` pair holding
+  its contiguous block of the domain (split along axis 0), its
+  constant-term block and its own
   :class:`~repro.core.online.OnlineABFT` protector.
-* :class:`DistributedStencilRunner` — drives all ranks in lock-step:
-  every iteration each rank posts its boundary strips, receives its
-  neighbours' strips, assembles its ghost-padded block, sweeps it and
-  verifies it locally. No global reduction or cross-rank checksum is
-  ever needed — the property the paper calls "intrinsically parallel".
+* :class:`DistributedStencilRunner` — drives all ranks in lock-step
+  through the zero-copy buffer-pair lifecycle: every iteration each
+  rank posts its boundary strips, receives its neighbours' strips
+  **directly into its front buffer's ghost slabs**
+  (:func:`~repro.parallel.halo.ingest_halo` — no ``stack_with_halos``
+  concatenate, no per-step ``pad_array``), refreshes the remaining
+  axes' ghosts in place, sweeps into its back buffer through the
+  backend's fused ``step_into_with_checksums`` primitive (the sweep
+  itself produces the rank's verified checksums), verifies locally and
+  swaps the pair.  Zero full-block allocations per rank per iteration.
 
 The simulation is sequential under the hood (ranks are stepped in a
 loop), but all inter-rank data flows through explicit messages, so the
@@ -24,20 +35,25 @@ communication structure matches a 1D-decomposed MPI stencil code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backends import get_backend
+from repro.backends.registry import BackendLike
 from repro.core.online import OnlineABFT
 from repro.core.protector import StepReport
 from repro.parallel.decomposition import partition_extent
-from repro.parallel.halo import boundary_strip, stack_with_halos, synthesize_ghost
+from repro.parallel.halo import (
+    boundary_strip,
+    ingest_halo,
+    synthesize_ghost_into,
+)
 from repro.stencil.boundary import BoundarySpec
+from repro.stencil.doublebuffer import DoubleBufferedGrid
 from repro.stencil.grid import GridBase
-from repro.stencil.shift import pad_array
 from repro.stencil.spec import StencilSpec
-from repro.stencil.sweep import sweep_padded
 
 __all__ = ["SimChannel", "SimRank", "DistributedStencilRunner"]
 
@@ -49,20 +65,32 @@ class SimChannel:
     """In-memory point-to-point message mailbox.
 
     Messages are addressed by ``(source, destination, tag)`` and consumed
-    in FIFO order per address. Payload arrays are copied on send so the
-    sender cannot mutate data already "on the wire".
+    in FIFO order per address (an O(1) ``deque.popleft`` per receive).
+    Payload arrays are copied on send so the sender cannot mutate data
+    already "on the wire".  Traffic is accounted globally
+    (``messages_sent``/``bytes_sent``) and per tag
+    (``messages_by_tag``/``bytes_by_tag``) — the weak-scaling benchmark
+    reports the per-tag breakdown.
     """
 
     def __init__(self) -> None:
-        self._mailboxes: Dict[Tuple[int, int, str], List[np.ndarray]] = {}
+        self._mailboxes: Dict[Tuple[int, int, str], Deque[np.ndarray]] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_by_tag: Dict[str, int] = {}
+        self.bytes_by_tag: Dict[str, int] = {}
 
     def send(self, source: int, dest: int, tag: str, payload: np.ndarray) -> None:
-        key = (int(source), int(dest), str(tag))
-        self._mailboxes.setdefault(key, []).append(np.array(payload, copy=True))
+        tag = str(tag)
+        key = (int(source), int(dest), tag)
+        self._mailboxes.setdefault(key, deque()).append(
+            np.array(payload, copy=True)
+        )
+        nbytes = int(np.asarray(payload).nbytes)
         self.messages_sent += 1
-        self.bytes_sent += int(np.asarray(payload).nbytes)
+        self.bytes_sent += nbytes
+        self.messages_by_tag[tag] = self.messages_by_tag.get(tag, 0) + 1
+        self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + nbytes
 
     def recv(self, source: int, dest: int, tag: str) -> np.ndarray:
         key = (int(source), int(dest), str(tag))
@@ -71,29 +99,71 @@ class SimChannel:
             raise RuntimeError(
                 f"no message from rank {source} to rank {dest} with tag {tag!r}"
             )
-        return queue.pop(0)
+        return queue.popleft()
 
     def pending(self) -> int:
         """Number of messages posted but not yet received."""
         return sum(len(q) for q in self._mailboxes.values())
 
+    def traffic(self) -> Dict[str, object]:
+        """Snapshot of the traffic counters (for benchmark reports)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "messages_by_tag": dict(self.messages_by_tag),
+            "bytes_by_tag": dict(self.bytes_by_tag),
+        }
 
-@dataclass
+
 class SimRank:
-    """One simulated rank: its block, protector and neighbour links."""
+    """One simulated rank: its persistent buffer pair, protector and links.
 
-    rank: int
-    interior: np.ndarray
-    constant: Optional[np.ndarray]
-    protector: Optional[OnlineABFT]
-    lo_neighbor: Optional[int]
-    hi_neighbor: Optional[int]
-    global_offset: int
-    reports: List[StepReport] = field(default_factory=list)
+    The rank's block lives in a
+    :class:`~repro.stencil.doublebuffer.DoubleBufferedGrid` whose
+    distributed-axis ghost slabs are externally managed: the runner
+    ingests neighbour halo payloads (or synthesises the closed boundary
+    condition at the domain edge) straight into the front buffer before
+    every sweep, and the remaining axes refresh from the boundary spec
+    inside the backend-owned step.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        block: np.ndarray,
+        constant: Optional[np.ndarray],
+        protector: Optional[OnlineABFT],
+        lo_neighbor: Optional[int],
+        hi_neighbor: Optional[int],
+        global_offset: int,
+        radius,
+        boundary: BoundarySpec,
+    ) -> None:
+        self.rank = int(rank)
+        external = (DISTRIBUTED_AXIS,) if radius[DISTRIBUTED_AXIS] > 0 else ()
+        self.buffers = DoubleBufferedGrid(
+            block, radius, boundary, external_axes=external
+        )
+        self.constant = constant
+        self.protector = protector
+        self.lo_neighbor = lo_neighbor
+        self.hi_neighbor = hi_neighbor
+        self.global_offset = int(global_offset)
+        self.reports: List[StepReport] = []
+
+    @property
+    def interior(self) -> np.ndarray:
+        """Live view of the rank's current block (front-buffer interior).
+
+        Mutations (injected faults, ABFT corrections) land directly in
+        the persistent pair and are picked up by the next halo post and
+        ghost refresh.
+        """
+        return self.buffers.interior
 
     @property
     def shape(self) -> Tuple[int, ...]:
-        return self.interior.shape
+        return self.buffers.interior_shape
 
 
 class DistributedStencilRunner:
@@ -109,8 +179,23 @@ class DistributedStencilRunner:
         axis 0.
     protect:
         Protect every rank's block with its own OnlineABFT instance.
+    backend:
+        Compute backend driving every rank's fused step (registry name
+        or instance; ``None`` follows the process default).
     abft_kwargs:
         Extra keyword arguments for each rank's protector.
+
+    Notes
+    -----
+    Each iteration runs the zero-copy rank lifecycle: post strips →
+    ingest halos in place → backend-owned fused step (partial-axis
+    ghost refresh + sweep into the back buffer + per-rank checksums in
+    one call) → swap → verify.  In fault-free operation the verified
+    checksum is produced by the sweep itself
+    (:meth:`OnlineABFT.process` receives it as
+    ``precomputed_checksums``); with an injection hook the checksum is
+    recomputed after the hook runs, preserving the paper's injection
+    semantics exactly as the serial protector does.
     """
 
     def __init__(
@@ -118,6 +203,7 @@ class DistributedStencilRunner:
         grid: GridBase,
         n_ranks: int = 4,
         protect: bool = True,
+        backend: BackendLike = None,
         **abft_kwargs,
     ) -> None:
         if n_ranks < 1:
@@ -130,6 +216,7 @@ class DistributedStencilRunner:
         self.iteration = grid.iteration
         self.channel = SimChannel()
         self.n_ranks = int(n_ranks)
+        self.backend_spec = backend
 
         axis_bc = self.boundary.axis(DISTRIBUTED_AXIS)
         bounds = partition_extent(grid.shape[DISTRIBUTED_AXIS], self.n_ranks)
@@ -155,19 +242,27 @@ class DistributedStencilRunner:
                     block.shape,
                     dtype=self.dtype,
                     constant=const,
+                    backend=backend,
                     **abft_kwargs,
                 )
             self.ranks.append(
                 SimRank(
                     rank=r,
-                    interior=block,
+                    block=block,
                     constant=const,
                     protector=protector,
                     lo_neighbor=lo,
                     hi_neighbor=hi,
                     global_offset=start,
+                    radius=self.radius,
+                    boundary=self.boundary,
                 )
             )
+
+    @property
+    def backend(self):
+        """The resolved compute backend (tracks the process default)."""
+        return get_backend(self.backend_spec)
 
     # -- halo exchange -------------------------------------------------------------
     def _post_halos(self) -> None:
@@ -175,61 +270,90 @@ class DistributedStencilRunner:
         if width == 0:
             return
         for rank in self.ranks:
+            interior = rank.interior
             if rank.lo_neighbor is not None:
-                strip = boundary_strip(rank.interior, DISTRIBUTED_AXIS, "low", width)
+                strip = boundary_strip(interior, DISTRIBUTED_AXIS, "low", width)
                 self.channel.send(rank.rank, rank.lo_neighbor, "to_hi", strip)
             if rank.hi_neighbor is not None:
-                strip = boundary_strip(rank.interior, DISTRIBUTED_AXIS, "high", width)
+                strip = boundary_strip(interior, DISTRIBUTED_AXIS, "high", width)
                 self.channel.send(rank.rank, rank.hi_neighbor, "to_lo", strip)
 
-    def _assemble_padded(self, rank: SimRank) -> np.ndarray:
-        """Build the rank's ghost-padded block from halo messages and BCs."""
+    def _ingest_halos(self, rank: SimRank) -> None:
+        """Write halo messages / edge boundary straight into the front buffer.
+
+        Neighbour payloads land in the distributed-axis ghost slabs of
+        the rank's persistent front buffer (no concatenation, no fresh
+        padded block); domain-edge sides synthesise the closed boundary
+        condition in place.  The remaining axes' ghost corners are then
+        rebuilt over these slabs by the backend's partial-axis refresh
+        during the step, matching the serial ``pad_array`` order
+        bit for bit.
+        """
         width = self.radius[DISTRIBUTED_AXIS]
+        if width == 0:
+            return
+        front = rank.buffers.front
         axis_bc = self.boundary.axis(DISTRIBUTED_AXIS)
-        if width > 0:
-            if rank.lo_neighbor is not None:
-                lo_ghost = self.channel.recv(rank.lo_neighbor, rank.rank, "to_lo")
-            else:
-                lo_ghost = synthesize_ghost(
-                    rank.interior, DISTRIBUTED_AXIS, "low", width, axis_bc
-                )
-            if rank.hi_neighbor is not None:
-                hi_ghost = self.channel.recv(rank.hi_neighbor, rank.rank, "to_hi")
-            else:
-                hi_ghost = synthesize_ghost(
-                    rank.interior, DISTRIBUTED_AXIS, "high", width, axis_bc
-                )
-            extended = stack_with_halos(
-                lo_ghost, rank.interior, hi_ghost, DISTRIBUTED_AXIS
-            )
+        if rank.lo_neighbor is not None:
+            payload = self.channel.recv(rank.lo_neighbor, rank.rank, "to_lo")
+            ingest_halo(front, self.radius, DISTRIBUTED_AXIS, "low", payload)
         else:
-            extended = rank.interior
-        # Remaining axes still need their closed-boundary ghost cells; the
-        # distributed axis is already extended, so its pad width is zero.
-        pad_radius = list(self.radius)
-        pad_radius[DISTRIBUTED_AXIS] = 0
-        return pad_array(extended, tuple(pad_radius), self.boundary)
+            synthesize_ghost_into(
+                front, self.radius, DISTRIBUTED_AXIS, "low", axis_bc
+            )
+        if rank.hi_neighbor is not None:
+            payload = self.channel.recv(rank.hi_neighbor, rank.rank, "to_hi")
+            ingest_halo(front, self.radius, DISTRIBUTED_AXIS, "high", payload)
+        else:
+            synthesize_ghost_into(
+                front, self.radius, DISTRIBUTED_AXIS, "high", axis_bc
+            )
 
     # -- stepping --------------------------------------------------------------------
     def step(self, inject=None) -> List[StepReport]:
         """One distributed sweep: exchange halos, sweep, verify per rank."""
         self._post_halos()
-        padded_blocks = {rank.rank: self._assemble_padded(rank) for rank in self.ranks}
         self.iteration += 1
+        backend = self.backend
 
         reports: List[StepReport] = []
         for rank in self.ranks:
-            padded = padded_blocks[rank.rank]
-            new_block = sweep_padded(
-                padded, self.spec, self.radius, rank.shape, constant=rank.constant
-            )
-            rank.interior = new_block
-            if inject is not None:
-                inject(self, self.iteration, rank)
-            if rank.protector is not None:
-                report = rank.protector.process(rank.interior, padded, self.iteration)
+            self._ingest_halos(rank)
+            protector = rank.protector
+            if protector is not None and inject is None:
+                # Fault-free fast path: the fused backend step produces
+                # the rank's verified checksum(s) while sweeping.
+                src_padded, _, checksums = rank.buffers.step(
+                    backend,
+                    self.spec,
+                    constant=rank.constant,
+                    axes=protector.verify_axes(),
+                    checksum_dtype=protector.checksum_dtype,
+                )
+                rank.buffers.swap()
+                report = protector.process(
+                    rank.interior,
+                    src_padded,
+                    self.iteration,
+                    precomputed_checksums=checksums,
+                )
             else:
-                report = StepReport(iteration=self.iteration, detection_performed=False)
+                src_padded, _, _ = rank.buffers.step(
+                    backend, self.spec, constant=rank.constant
+                )
+                rank.buffers.swap()
+                if inject is not None:
+                    inject(self, self.iteration, rank)
+                if protector is not None:
+                    # The checksum must reflect the possibly corrupted
+                    # block, so it is recomputed inside ``process``.
+                    report = protector.process(
+                        rank.interior, src_padded, self.iteration
+                    )
+                else:
+                    report = StepReport(
+                        iteration=self.iteration, detection_performed=False
+                    )
             rank.reports.append(report)
             reports.append(report)
         return reports

@@ -78,6 +78,16 @@ class DoubleBufferedGrid:
     shared:
         Allocate the pair in ``multiprocessing.shared_memory`` straight
         away (equivalent to calling :meth:`share` after construction).
+    external_axes:
+        Axes whose ghost slabs are *externally managed*: :meth:`refresh`
+        and :meth:`step` never touch them, leaving whatever a halo
+        exchange wrote there in place, while the remaining axes keep
+        refreshing from ``boundary`` (their slabs span the external
+        halo like interior, so ghost corners match what ``pad_array``
+        would build over the halo-extended block).  This is how the
+        distributed runner gives each rank a persistent buffer pair:
+        the distributed axis is external, its front-buffer slabs are
+        filled by message ingestion before every step.
     """
 
     def __init__(
@@ -87,10 +97,23 @@ class DoubleBufferedGrid:
         boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
         dtype=None,
         shared: bool = False,
+        external_axes: Sequence[int] = (),
     ) -> None:
         initial = np.asarray(initial)
         self.radius = normalize_radius(radius, initial.ndim)
         self.boundary = BoundarySpec.from_any(boundary, initial.ndim)
+        self.external_axes = tuple(sorted({int(a) for a in external_axes}))
+        if any(a < 0 or a >= initial.ndim for a in self.external_axes):
+            raise ValueError(
+                f"external_axes {self.external_axes} out of range for a "
+                f"{initial.ndim}D domain"
+            )
+        #: Axes the per-step ghost refresh owns (``None`` → all of them).
+        self.refresh_axes = (
+            tuple(a for a in range(initial.ndim) if a not in self.external_axes)
+            if self.external_axes
+            else None
+        )
         self.interior_shape = initial.shape
         self.padded_shape = padded_shape(initial.shape, self.radius)
         self.dtype = np.dtype(dtype) if dtype is not None else initial.dtype
@@ -134,9 +157,13 @@ class DoubleBufferedGrid:
 
         Called once per sweep, immediately before the buffer is read, so
         that interior mutations since the last step (ABFT corrections,
-        injected faults) are reflected in the halo.
+        injected faults) are reflected in the halo.  Externally managed
+        axes (``external_axes``) are skipped — their slabs hold halo
+        data the caller ingested.
         """
-        return refresh_ghosts(self._front, self.radius, self.boundary)
+        return refresh_ghosts(
+            self._front, self.radius, self.boundary, axes=self.refresh_axes
+        )
 
     def step(
         self,
@@ -176,6 +203,7 @@ class DoubleBufferedGrid:
                 self.interior_shape,
                 self.boundary,
                 constant=constant,
+                refresh_axes=self.refresh_axes,
             )
             return self._front, new, None
         new, checksums = backend.step_into_with_checksums(
@@ -188,6 +216,7 @@ class DoubleBufferedGrid:
             axes,
             constant=constant,
             checksum_dtype=checksum_dtype,
+            refresh_axes=self.refresh_axes,
         )
         return self._front, new, checksums
 
@@ -272,7 +301,10 @@ class DoubleBufferedGrid:
 
     def __repr__(self) -> str:
         kind = "shared" if self.is_shared else "heap"
+        ext = (
+            f", external_axes={self.external_axes}" if self.external_axes else ""
+        )
         return (
             f"DoubleBufferedGrid(interior={self.interior_shape}, "
-            f"radius={self.radius}, {kind})"
+            f"radius={self.radius}, {kind}{ext})"
         )

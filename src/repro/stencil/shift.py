@@ -15,7 +15,7 @@ closed boundary condition.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -108,6 +108,7 @@ def refresh_ghosts(
     padded: np.ndarray,
     radius,
     boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
+    axes: Optional[Sequence[int]] = None,
 ) -> np.ndarray:
     """Re-fill the ghost cells of an existing padded array, in place.
 
@@ -124,9 +125,33 @@ def refresh_ghosts(
     result bit-identical to a fresh :func:`pad_array` of the interior for
     every boundary kind.
 
+    ``axes`` restricts the refresh to a subset of axes: the ghost slabs
+    of every other axis are treated as *externally managed* — left
+    untouched, and spanned as if they were interior by the refreshed
+    axes' slabs.  That is the distributed-runner contract: a rank's
+    halo slabs along the distributed axis are filled by message
+    ingestion, and refreshing the remaining axes afterwards reproduces
+    the ghost corners ``pad_array`` would have built over the
+    halo-extended block (the externally managed axis behaves exactly
+    like a zero-radius axis).
+
     Returns ``padded`` (the same object) for chaining.
     """
     radius = normalize_radius(radius, padded.ndim)
+    if axes is not None:
+        keep = {int(a) for a in axes}
+        if not keep.issubset(range(padded.ndim)):
+            raise ValueError(
+                f"refresh axes {sorted(keep)} out of range for a "
+                f"{padded.ndim}D array"
+            )
+        # An externally managed axis is equivalent to a zero-radius one:
+        # its slabs are never written, and later axes span its full
+        # extent (halo included) — the pad_array corner semantics for a
+        # pre-extended axis.
+        radius = tuple(
+            r if axis in keep else 0 for axis, r in enumerate(radius)
+        )
     bspec = BoundarySpec.from_any(boundary, padded.ndim)
     ndim = padded.ndim
     for axis in range(ndim):

@@ -71,6 +71,21 @@ class TestTMR:
     def test_name(self):
         assert TMRProtector().name == "tmr"
 
+    def test_replica_buffers_persist_across_steps(self, rng):
+        """Replicas sweep into two protector-owned buffers, reused every
+        step — the step cost is two extra backend sweeps, not two fresh
+        full-domain allocations."""
+        grid = _make_grid(rng)
+        protector = TMRProtector()
+        protector.step(grid)
+        first = protector._replicas
+        assert first is not None
+        protector.step(grid)
+        assert protector._replicas is first
+        assert first[0].shape == grid.u.shape
+        protector.reset()
+        assert protector._replicas is None
+
 
 class TestSpatialInterpolationDetector:
     def test_threshold_validation(self):

@@ -54,3 +54,26 @@ class TestMain:
     def test_sensitivity_smoke(self, capsys):
         assert main(["sensitivity", "--scale", "smoke"]) == 0
         assert "Detection sensitivity" in capsys.readouterr().out
+
+    def test_distributed_smoke(self, capsys):
+        assert main(["distributed", "--ranks", "3", "--iters", "4",
+                     "--size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "3 ranks, 4 iterations" in out
+        assert "gather checksum" in out
+        assert "halo traffic" in out
+        assert out.count("rank ") == 3
+        assert "detected 0, corrected 0" in out
+
+    def test_distributed_no_protect(self, capsys):
+        assert main(["distributed", "--ranks", "2", "--iters", "2",
+                     "--size", "24", "--no-protect"]) == 0
+        out = capsys.readouterr().out
+        assert "unprotected" in out
+        assert "totals" not in out
+
+    def test_distributed_parser_defaults(self):
+        args = build_parser().parse_args(["distributed"])
+        assert args.ranks == 4
+        assert args.iters == 50
+        assert args.backend is None

@@ -114,6 +114,33 @@ class TestRefreshGhosts:
         refresh_ghosts(padded, 1, spec)
         np.testing.assert_array_equal(padded, expected)
 
+    @pytest.mark.parametrize("bc", all_boundary_conditions(), ids=BC_IDS)
+    def test_partial_refresh_matches_pad_of_extended_block(self, rng, bc):
+        """``axes=`` treats the skipped axis as pre-extended halo storage.
+
+        Refreshing only axis 1 over a buffer whose axis-0 ghost range
+        was filled externally must equal padding axis 0 first (the halo
+        exchange) and then axis 1 over the extended block — the
+        distributed rank-buffer contract.
+        """
+        u = (rng.random((6, 5)) * 10.0).astype(np.float32)
+        # pad_array on axis 0 stands in for the halo exchange (for the
+        # periodic kind it produces exactly the wrapped strips a ring of
+        # neighbours would send).
+        extended = pad_array(u, (2, 0), bc)
+        expected = pad_array(extended, (0, 1), bc)
+        padded = np.full(padded_shape(u.shape, (2, 1)), np.nan, dtype=u.dtype)
+        padded[:, 1:-1] = extended
+        refresh_ghosts(padded, (2, 1), bc, axes=(1,))
+        np.testing.assert_array_equal(padded, expected)
+        # The externally filled axis-0 slabs were left untouched.
+        np.testing.assert_array_equal(padded[0:2, 1:-1], extended[0:2])
+
+    def test_refresh_axes_out_of_range_rejected(self, rng):
+        padded = np.zeros((5, 5))
+        with pytest.raises(ValueError, match="out of range"):
+            refresh_ghosts(padded, 1, BoundaryCondition.clamp(), axes=(2,))
+
 
 def _reference_run(u0, spec, bc, backend, steps):
     """N sweeps the old way: a fresh pad_array copy every iteration."""
@@ -231,3 +258,43 @@ class TestDoubleBufferedGridUnit:
             rng.random((4, 4)).astype(np.float32), 1, BoundaryCondition.zero()
         )
         assert pair.nbytes() == 2 * 6 * 6 * 4
+
+
+class TestExternallyManagedAxes:
+    """``external_axes``: ghost slabs owned by a halo exchange, not refresh."""
+
+    def test_refresh_skips_external_axis_slabs(self, rng):
+        u = rng.random((5, 4)).astype(np.float32)
+        pair = DoubleBufferedGrid(
+            u, 1, BoundaryCondition.clamp(), external_axes=(0,)
+        )
+        assert pair.refresh_axes == (1,)
+        sentinel = 123.25
+        pair.front[0, :] = sentinel  # the "ingested halo" row
+        pair.front[-1, :] = sentinel
+        pair.refresh()
+        # External axis-0 rows kept the ingested values (corners
+        # included: axis 1's refresh spans the halo rows like interior,
+        # overwriting only the axis-1 ghost columns).
+        np.testing.assert_array_equal(pair.front[0, 1:-1], sentinel)
+        np.testing.assert_array_equal(pair.front[-1, 1:-1], sentinel)
+        # Axis-1 slabs were refreshed from the clamp boundary — over the
+        # full axis-0 extent, halo rows included.
+        np.testing.assert_array_equal(pair.front[:, 0], pair.front[:, 1])
+        np.testing.assert_array_equal(pair.front[:, -1], pair.front[:, -2])
+
+    def test_no_external_axes_refreshes_everything(self, rng):
+        pair = DoubleBufferedGrid(
+            rng.random((5, 4)).astype(np.float32), 1, BoundaryCondition.clamp()
+        )
+        assert pair.external_axes == ()
+        assert pair.refresh_axes is None
+
+    def test_out_of_range_external_axis_rejected(self, rng):
+        with pytest.raises(ValueError, match="out of range"):
+            DoubleBufferedGrid(
+                rng.random((4, 4)).astype(np.float32),
+                1,
+                BoundaryCondition.clamp(),
+                external_axes=(2,),
+            )

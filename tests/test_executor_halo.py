@@ -11,9 +11,12 @@ from repro.parallel.executor import (
 )
 from repro.parallel.halo import (
     boundary_strip,
+    ghost_slab,
+    ingest_halo,
     padded_tile_view,
     stack_with_halos,
     synthesize_ghost,
+    synthesize_ghost_into,
     tile_constant,
 )
 from repro.stencil.boundary import BoundaryCondition
@@ -153,3 +156,63 @@ class TestHaloStrips:
         interior = rng.random((4, 3))
         with pytest.raises(ValueError, match="ghost strip"):
             stack_with_halos(rng.random((1, 2)), interior, rng.random((1, 3)), 0)
+
+
+class TestInPlaceHaloIngestion:
+    """The zero-copy receive path: ghost slabs written in place."""
+
+    def test_ghost_slab_is_view_excluding_corners(self, rng):
+        padded = rng.random((8, 7))  # interior (4, 5) with radius (2, 1)
+        lo = ghost_slab(padded, (2, 1), 0, "low")
+        hi = ghost_slab(padded, (2, 1), 0, "high")
+        assert lo.base is padded and hi.base is padded
+        np.testing.assert_array_equal(lo, padded[0:2, 1:6])
+        np.testing.assert_array_equal(hi, padded[6:8, 1:6])
+        side = ghost_slab(padded, (2, 1), 1, "low")
+        np.testing.assert_array_equal(side, padded[2:6, 0:1])
+
+    def test_ghost_slab_validation(self, rng):
+        padded = rng.random((6, 5))
+        with pytest.raises(ValueError, match="radius 0"):
+            ghost_slab(padded, (1, 0), 1, "low")
+        with pytest.raises(ValueError, match="side"):
+            ghost_slab(padded, (1, 1), 0, "middle")
+
+    def test_ingest_halo_writes_payload_in_place(self, rng):
+        padded = np.zeros((6, 5))
+        payload = rng.random((1, 3))
+        slab = ingest_halo(padded, (1, 1), 0, "low", payload)
+        assert slab.base is padded
+        np.testing.assert_array_equal(padded[0:1, 1:4], payload)
+        # Corners stay untouched: they belong to the later axes' refresh.
+        assert padded[0, 0] == 0.0 and padded[0, 4] == 0.0
+
+    def test_ingest_halo_shape_mismatch_rejected(self, rng):
+        padded = np.zeros((6, 5))
+        with pytest.raises(ValueError, match="ghost slab expects"):
+            ingest_halo(padded, (1, 1), 0, "low", rng.random((2, 3)))
+
+    @pytest.mark.parametrize(
+        "bc",
+        [
+            BoundaryCondition.clamp(),
+            BoundaryCondition.zero(),
+            BoundaryCondition.constant(4.5),
+        ],
+        ids=lambda b: b.kind,
+    )
+    def test_synthesize_into_matches_allocating_form(self, rng, bc):
+        u = rng.random((4, 3))
+        for side in ("low", "high"):
+            padded = pad_array(u, (2, 1), BoundaryCondition.zero())
+            slab = synthesize_ghost_into(padded, (2, 1), 0, side, bc)
+            expected = synthesize_ghost(u, 0, side, 2, bc)
+            np.testing.assert_array_equal(slab, expected)
+            assert slab.base is padded
+
+    def test_synthesize_into_periodic_rejected(self, rng):
+        padded = np.zeros((5, 5))
+        with pytest.raises(ValueError, match="exchanged"):
+            synthesize_ghost_into(
+                padded, (1, 1), 0, "low", BoundaryCondition.periodic()
+            )
