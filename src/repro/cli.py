@@ -11,6 +11,7 @@ Regenerates the paper's tables and figures from the command line::
     python -m repro all --scale quick
     python -m repro backends
     python -m repro distributed --ranks 4 --iters 50
+    python -m repro campaign --tile 64 64 8 --repetitions 50 --executor process
 
 ``--scale paper`` switches to the published campaign parameters
 (hours of compute in pure NumPy); ``--scale smoke`` is the tiny
@@ -130,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker count for thread/process executors (default: all cores)",
         )
 
+    # table1 additionally offers the measured campaign-engine throughput
+    # column (runs/second per tile).
+    subparsers.choices["table1"].add_argument(
+        "--measure-throughput",
+        action="store_true",
+        help="append the measured online-ABFT campaign throughput "
+        "(runs/second on the campaign engine) per tile",
+    )
+
     subparsers.add_parser(
         "backends",
         help="list compute backends, including optional ones that are "
@@ -163,6 +173,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-protect",
         action="store_true",
         help="disable the per-rank OnlineABFT protectors",
+    )
+
+    camp = subparsers.add_parser(
+        "campaign",
+        help="run one fault-injection campaign on the high-throughput "
+        "campaign engine and report detection/timing statistics",
+    )
+    camp.add_argument(
+        "--tile", type=int, nargs=3, default=[64, 64, 8],
+        metavar=("NX", "NY", "NZ"), help="HotSpot3D tile size",
+    )
+    camp.add_argument(
+        "--method", choices=("no-abft", "online-abft", "offline-abft"),
+        default="online-abft", help="protection method",
+    )
+    camp.add_argument(
+        "--scenario", choices=("error-free", "single-bit-flip"),
+        default="single-bit-flip", help="fault scenario",
+    )
+    camp.add_argument(
+        "--iterations", type=int, default=64, help="stencil sweeps per run"
+    )
+    camp.add_argument(
+        "--repetitions", type=int, default=50, help="independent runs"
+    )
+    camp.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    camp.add_argument(
+        "--period", type=int, default=16,
+        help="offline detection/checkpoint period",
+    )
+    camp.add_argument(
+        "--batch", type=int, default=None,
+        help="runs per dispatched batch (default: automatic)",
+    )
+    camp.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="compute backend for the sweeps",
+    )
+    camp.add_argument(
+        "--executor", choices=available_executors(), default=None,
+        help="campaign-engine executor (default: REPRO_EXECUTOR, else serial)",
+    )
+    camp.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for thread/process executors",
     )
     return parser
 
@@ -225,6 +280,69 @@ def _run_distributed(args) -> int:
     return 0
 
 
+def _run_campaign_cli(args) -> int:
+    """``repro campaign``: one campaign on the high-throughput engine."""
+    import time
+
+    from repro.experiments.common import make_hotspot_app, make_protector_factory
+    from repro.experiments.report import format_seconds
+    from repro.faults.campaign import CampaignConfig
+    from repro.faults.engine import CampaignEngine
+
+    tile = tuple(args.tile)
+    app = make_hotspot_app(tile)
+    reference = app.reference_solution(args.iterations)
+    factory = make_protector_factory(args.method, period=args.period)
+    config = CampaignConfig(
+        iterations=args.iterations,
+        repetitions=args.repetitions,
+        inject=(args.scenario == "single-bit-flip"),
+        seed=args.seed,
+    )
+    with CampaignEngine(batch_size=args.batch) as engine:
+        start = time.perf_counter()
+        result = engine.run(app.build_grid, factory, config, reference=reference)
+        elapsed = time.perf_counter() - start
+        executor = engine.executor
+
+        print(
+            f"campaign: {tile[0]}x{tile[1]}x{tile[2]} HotSpot3D, "
+            f"{args.method}, {args.scenario}, {args.iterations} iterations x "
+            f"{args.repetitions} runs (seed {args.seed})"
+        )
+        print(
+            f"engine   : executor {executor.kind} ({executor.workers} "
+            f"worker{'s' if executor.workers != 1 else ''}), "
+            f"batch {engine.batch_size or 'auto'}"
+        )
+        print(
+            f"throughput: {args.repetitions / elapsed:.1f} runs/s "
+            f"({format_seconds(elapsed)} total)"
+        )
+    stats = result.time_stats()
+    print(
+        f"run time : mean {format_seconds(stats.mean)}, "
+        f"median {format_seconds(stats.median)}, max {format_seconds(stats.maximum)}"
+    )
+    errors = result.error_stats()
+    print(f"l2 error : mean {errors.mean:.3e}, max {errors.maximum:.3e}")
+    cols = result.columns()
+    if config.inject:
+        print(
+            f"faults   : detection rate {100 * result.detection_rate():.1f}%, "
+            f"{int(cols.detected_counts.sum())} detected, "
+            f"{int(cols.corrected.sum())} corrected, "
+            f"{int(cols.uncorrected.sum())} uncorrected, "
+            f"{result.total_rollbacks()} rollbacks"
+        )
+    else:
+        print(
+            f"faults   : none injected, false-positive rate "
+            f"{100 * result.false_positive_rate():.1f}%"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -249,6 +367,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             except KeyError as exc:
                 parser.error(str(exc.args[0]))
         return _run_distributed(args)
+
+    if args.command == "campaign":
+        if args.executor is not None:
+            set_default_executor(args.executor)
+        if args.workers is not None:
+            set_default_workers(args.workers)
+        if args.backend is not None:
+            set_default_backend(args.backend)
+        else:
+            try:
+                get_backend()
+            except KeyError as exc:
+                parser.error(str(exc.args[0]))
+        return _run_campaign_cli(args)
 
     if args.command == "executors":
         default = default_executor_kind()
@@ -286,6 +418,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     run, fmt = _EXPERIMENTS[args.command]
+    if args.command == "table1" and getattr(args, "measure_throughput", False):
+        _emit(fmt(run(scale, measure_throughput=True)), args.output)
+        return 0
     _emit(fmt(run(scale)), args.output)
     return 0
 

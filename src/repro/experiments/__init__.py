@@ -20,7 +20,12 @@ default, used by the benchmark suite) and the paper's full parameters
 (``EvaluationScale.paper()``).
 """
 
-from repro.experiments.common import EvaluationScale, METHODS, make_protector_factory
+from repro.experiments.common import (
+    EvaluationScale,
+    METHODS,
+    MethodProtectorFactory,
+    make_protector_factory,
+)
 from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.figure8 import run_figure8, format_figure8
 from repro.experiments.figure9 import run_figure9, format_figure9
@@ -31,6 +36,7 @@ from repro.experiments.sensitivity import run_sensitivity, format_sensitivity
 __all__ = [
     "EvaluationScale",
     "METHODS",
+    "MethodProtectorFactory",
     "make_protector_factory",
     "run_table1",
     "format_table1",

@@ -30,6 +30,7 @@ from repro.stencil.grid import GridBase
 __all__ = [
     "METHODS",
     "EvaluationScale",
+    "MethodProtectorFactory",
     "make_hotspot_app",
     "make_protector_factory",
     "method_label",
@@ -137,12 +138,40 @@ def make_hotspot_app(tile: Sequence[int], seed: int = 12345) -> HotSpot3D:
     return HotSpot3D(HotSpot3DConfig(nx=nx, ny=ny, nz=nz, seed=seed))
 
 
+@dataclass(frozen=True)
+class MethodProtectorFactory:
+    """Picklable per-run protector factory for one evaluation method.
+
+    The campaign engine ships factories to pool worker *processes*, so
+    they must survive pickling — which closures do not.  This small
+    frozen dataclass carries the method key plus its keyword arguments
+    and builds the protector on call; equality/hashing come for free,
+    which also lets the engine reuse worker-side campaign state across
+    repeated calls with equal factories.
+    """
+
+    method: str
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    def __call__(self, grid: GridBase) -> Protector:
+        kwargs = dict(self.kwargs)
+        if self.method == "no-abft":
+            return NoProtection()
+        if self.method == "online-abft":
+            return OnlineABFT.for_grid(grid, **kwargs)
+        if self.method == "offline-abft":
+            return OfflineABFT.for_grid(grid, **kwargs)
+        raise ValueError(
+            f"unknown method {self.method!r}; expected one of {METHODS}"
+        )
+
+
 def make_protector_factory(
     method: str,
     epsilon: float = PAPER_EPSILON,
     period: int = 16,
     **kwargs,
-) -> Callable[[GridBase], Protector]:
+) -> MethodProtectorFactory:
     """Factory building a fresh protector of the requested method per run.
 
     Parameters
@@ -155,17 +184,21 @@ def make_protector_factory(
         Detection/checkpoint period for the offline method.
     kwargs:
         Extra arguments forwarded to the protector constructor.
+
+    Returns
+    -------
+    MethodProtectorFactory
+        A picklable callable, usable with every campaign-engine executor
+        (the process pool included).
     """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
     if method == "no-abft":
-        def factory(grid: GridBase) -> Protector:
-            return NoProtection()
-        return factory
-    if method == "online-abft":
-        def factory(grid: GridBase) -> Protector:
-            return OnlineABFT.for_grid(grid, epsilon=epsilon, **kwargs)
-        return factory
-    if method == "offline-abft":
-        def factory(grid: GridBase) -> Protector:
-            return OfflineABFT.for_grid(grid, epsilon=epsilon, period=period, **kwargs)
-        return factory
-    raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+        call_kwargs: dict = {}
+    elif method == "online-abft":
+        call_kwargs = {"epsilon": epsilon, **kwargs}
+    else:
+        call_kwargs = {"epsilon": epsilon, "period": period, **kwargs}
+    return MethodProtectorFactory(
+        method=method, kwargs=tuple(sorted(call_kwargs.items()))
+    )

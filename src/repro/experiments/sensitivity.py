@@ -19,9 +19,14 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.baselines.spatial_detector import SpatialInterpolationDetector
-from repro.core.online import OnlineABFT
-from repro.experiments.common import EvaluationScale, make_hotspot_app
+from repro.experiments.common import (
+    EvaluationScale,
+    make_hotspot_app,
+    make_protector_factory,
+)
 from repro.experiments.report import format_scientific, format_table
+from repro.faults.campaign import CampaignConfig
+from repro.faults.engine import CampaignEngine
 
 __all__ = [
     "SensitivityPoint",
@@ -83,59 +88,105 @@ class _RelativePerturbation:
         self.fired = True
 
 
+@dataclass(frozen=True)
+class _SpatialDetectorFactory:
+    """Picklable per-run factory for the spatial-interpolation baseline."""
+
+    threshold: float
+
+    def __call__(self, grid) -> SpatialInterpolationDetector:
+        return SpatialInterpolationDetector(
+            threshold=self.threshold, correct=False
+        )
+
+
+class _PerturbationHookFactory:
+    """Draws one perturbation hook per run from the experiment's RNG.
+
+    Called by the engine in run order, in the parent process, so the
+    draws consume the shared generator in exactly the sequence the
+    explicit per-run loop used.
+    """
+
+    def __init__(self, rng, shape, iterations: int, magnitude: float) -> None:
+        self.rng = rng
+        self.shape = tuple(shape)
+        self.iterations = int(iterations)
+        self.magnitude = float(magnitude)
+
+    def __call__(self, run_index: int) -> _RelativePerturbation:
+        iteration = int(self.rng.integers(1, self.iterations + 1))
+        index = tuple(int(self.rng.integers(0, n)) for n in self.shape)
+        return _RelativePerturbation(iteration, index, self.magnitude)
+
+
 def run_sensitivity(
     scale: EvaluationScale | None = None,
     magnitudes: Tuple[float, ...] = DEFAULT_MAGNITUDES,
     runs_per_magnitude: int = 8,
     spatial_threshold: float = 1e-2,
+    engine: CampaignEngine | None = None,
 ) -> SensitivityResult:
-    """Measure detection rate vs. perturbation magnitude for both detectors."""
+    """Measure detection rate vs. perturbation magnitude for both detectors.
+
+    The clean runs and every magnitude's perturbed runs execute as
+    campaigns on a shared :class:`CampaignEngine`; the custom
+    perturbation hooks take the engine's replay strategy, so each worker
+    reuses one persistent grid/detector pair across the whole sweep.
+    """
     scale = scale if scale is not None else EvaluationScale.quick()
     tile = scale.primary_tile()
     iterations = scale.iterations[tile]
     app = make_hotspot_app(tile)
+    reference = app.reference_solution(iterations)
     result = SensitivityResult(scale_name=scale.name, tile_size=tile)
 
     detectors = {
-        "abft-online": lambda grid: OnlineABFT.for_grid(grid, epsilon=scale.epsilon),
-        "spatial-interpolation": lambda grid: SpatialInterpolationDetector(
-            threshold=spatial_threshold, correct=False
+        "abft-online": make_protector_factory(
+            "online-abft", epsilon=scale.epsilon
         ),
+        "spatial-interpolation": _SpatialDetectorFactory(spatial_threshold),
     }
 
     rng = np.random.default_rng(4242)
-    for name, factory in detectors.items():
-        # False positives on clean runs.
-        clean_flags = 0
-        clean_runs = max(2, runs_per_magnitude // 2)
-        for _ in range(clean_runs):
-            grid = app.build_grid()
-            protector = factory(grid)
-            report = protector.run(grid, iterations)
-            if report.total_detected > 0:
-                clean_flags += 1
-        result.false_positive_rates[name] = clean_flags / clean_runs
-
-        # Detection rate per magnitude.
-        for magnitude in magnitudes:
-            detected = 0
-            for run in range(runs_per_magnitude):
-                grid = app.build_grid()
-                protector = factory(grid)
-                iteration = int(rng.integers(1, iterations + 1))
-                index = tuple(int(rng.integers(0, n)) for n in grid.shape)
-                hook = _RelativePerturbation(iteration, index, magnitude)
-                report = protector.run(grid, iterations, inject=hook)
-                if report.total_detected > 0:
-                    detected += 1
-            result.points.append(
-                SensitivityPoint(
-                    detector=name,
-                    magnitude=magnitude,
-                    detection_rate=detected / runs_per_magnitude,
-                    runs=runs_per_magnitude,
-                )
+    with CampaignEngine.shared(engine) as eng:
+        for name, factory in detectors.items():
+            # False positives on clean runs.
+            clean_runs = max(2, runs_per_magnitude // 2)
+            clean_config = CampaignConfig(
+                iterations=iterations, repetitions=clean_runs, inject=False
             )
+            clean = eng.run(
+                app.build_grid, factory, clean_config, reference=reference
+            )
+            clean_flags = sum(1 for r in clean.records if r.detected)
+            result.false_positive_rates[name] = clean_flags / clean_runs
+
+            # Detection rate per magnitude.
+            for magnitude in magnitudes:
+                config = CampaignConfig(
+                    iterations=iterations,
+                    repetitions=runs_per_magnitude,
+                    inject=False,
+                )
+                campaign = eng.run(
+                    app.build_grid,
+                    factory,
+                    config,
+                    reference=reference,
+                    hook_factory=_PerturbationHookFactory(
+                        rng, app.shape, iterations, magnitude
+                    ),
+                )
+                detected = sum(1 for r in campaign.records if r.detected)
+                result.points.append(
+                    SensitivityPoint(
+                        detector=name,
+                        magnitude=magnitude,
+                        detection_rate=detected / runs_per_magnitude,
+                        runs=runs_per_magnitude,
+                    )
+                )
     return result
 
 

@@ -15,7 +15,14 @@ This subpackage reproduces that fault model:
     iteration).
 ``campaign``
     Orchestration of repeated runs with independent random faults and
-    aggregation of the timing/accuracy statistics the paper reports.
+    aggregation of the timing/accuracy statistics the paper reports
+    (:func:`~repro.faults.campaign.run_campaign` is the reference
+    serial loop).
+``engine``
+    The throughput harness: :class:`~repro.faults.engine.CampaignEngine`
+    dispatches batched runs to a persistent worker pool whose grids and
+    protectors are reset in place between runs, producing records
+    bitwise-identical to the serial loop.
 """
 
 from repro.faults.bitflip import (
@@ -28,7 +35,14 @@ from repro.faults.bitflip import (
     sign_bit,
 )
 from repro.faults.injector import FaultPlan, FaultInjector, random_fault_plan
-from repro.faults.campaign import CampaignConfig, CampaignResult, RunRecord, run_campaign
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    RunRecord,
+    resolve_run_counters,
+    run_campaign,
+)
+from repro.faults.engine import CampaignEngine, draw_fault_plans, stacked_supported
 
 __all__ = [
     "bit_width",
@@ -44,5 +58,9 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "RunRecord",
+    "resolve_run_counters",
     "run_campaign",
+    "CampaignEngine",
+    "draw_fault_plans",
+    "stacked_supported",
 ]

@@ -6,6 +6,13 @@ execution time, the final arithmetic error against an error-free
 reference, and the detection/correction bookkeeping. This is the
 harness behind the paper's evaluation (Section 5): 1,000 repetitions for
 the 64x64x8 tiles and 100 repetitions for the 512x512x8 tiles.
+
+:func:`run_campaign` is the *reference* serial loop: one fresh grid and
+one fresh protector per run.  The throughput-oriented harness is
+:class:`repro.faults.engine.CampaignEngine`, which produces records
+bitwise-identical to this loop (same ``seed + i`` fault plans, same
+numerics) from persistent workers that reset their state in place; the
+benchmark suite gates that equivalence.
 """
 
 from __future__ import annotations
@@ -22,7 +29,13 @@ from repro.metrics.accuracy import l2_error
 from repro.metrics.statistics import SummaryStats, summarize
 from repro.stencil.grid import GridBase
 
-__all__ = ["CampaignConfig", "RunRecord", "CampaignResult", "run_campaign"]
+__all__ = [
+    "CampaignConfig",
+    "RunRecord",
+    "CampaignResult",
+    "resolve_run_counters",
+    "run_campaign",
+]
 
 GridFactory = Callable[[], GridBase]
 ProtectorFactory = Callable[[GridBase], Protector]
@@ -97,19 +110,89 @@ class RunRecord:
 
 
 @dataclass
+class _ResultColumns:
+    """Columnar views over a campaign's records, built in one pass.
+
+    The summary methods of :class:`CampaignResult` are called repeatedly
+    by the figures (once per statistic, per method, per scenario); with
+    paper-scale campaigns of 1,000 records, rebuilding a Python list for
+    every call dominated the summary cost.  The arrays are built once per
+    record count and reused until more records are appended.
+    """
+
+    elapsed: np.ndarray
+    error: np.ndarray
+    detected_counts: np.ndarray
+    corrected: np.ndarray
+    uncorrected: np.ndarray
+    rollbacks: np.ndarray
+    recomputed: np.ndarray
+    injected: np.ndarray
+
+    @classmethod
+    def from_records(cls, records: Sequence[RunRecord]) -> "_ResultColumns":
+        n = len(records)
+        elapsed = np.empty(n, dtype=np.float64)
+        error = np.empty(n, dtype=np.float64)
+        detected = np.empty(n, dtype=np.int64)
+        corrected = np.empty(n, dtype=np.int64)
+        uncorrected = np.empty(n, dtype=np.int64)
+        rollbacks = np.empty(n, dtype=np.int64)
+        recomputed = np.empty(n, dtype=np.int64)
+        injected = np.empty(n, dtype=bool)
+        for i, r in enumerate(records):
+            elapsed[i] = r.elapsed_seconds
+            error[i] = r.arithmetic_error
+            detected[i] = r.errors_detected
+            corrected[i] = r.errors_corrected
+            uncorrected[i] = r.errors_uncorrected
+            rollbacks[i] = r.rollbacks
+            recomputed[i] = r.recomputed_iterations
+            injected[i] = r.fault is not None
+        return cls(
+            elapsed=elapsed,
+            error=error,
+            detected_counts=detected,
+            corrected=corrected,
+            uncorrected=uncorrected,
+            rollbacks=rollbacks,
+            recomputed=recomputed,
+            injected=injected,
+        )
+
+
+@dataclass
 class CampaignResult:
-    """All run records of a campaign plus convenience summaries."""
+    """All run records of a campaign plus convenience summaries.
+
+    The summaries are computed from columnar NumPy arrays built once per
+    record count (:class:`_ResultColumns`); the ``records`` list remains
+    the authoritative store and the arrays refresh automatically when
+    records are appended.
+    """
 
     config: CampaignConfig
     protector_name: str
     records: List[RunRecord] = field(default_factory=list)
 
-    # -- summaries -------------------------------------------------------------
-    def times(self) -> List[float]:
-        return [r.elapsed_seconds for r in self.records]
+    def columns(self) -> _ResultColumns:
+        """Columnar arrays over the records (cached per record count)."""
+        cached = getattr(self, "_columns", None)
+        if cached is None or len(cached.elapsed) != len(self.records):
+            cached = _ResultColumns.from_records(self.records)
+            # Bypass dataclass field machinery: the cache is derived
+            # state, not part of equality/repr.
+            object.__setattr__(self, "_columns", cached)
+        return cached
 
-    def errors(self) -> List[float]:
-        return [r.arithmetic_error for r in self.records]
+    # -- summaries -------------------------------------------------------------
+    def times(self) -> np.ndarray:
+        """Per-run execution times in seconds (float64 array)."""
+        return self.columns().elapsed
+
+    def errors(self) -> np.ndarray:
+        """Per-run arithmetic errors vs the reference (float64 array)."""
+        return self.columns().error
 
     def time_stats(self) -> SummaryStats:
         return summarize(self.times())
@@ -119,32 +202,53 @@ class CampaignResult:
 
     def detection_rate(self) -> float:
         """Fraction of injected runs in which the fault was detected."""
-        injected = [r for r in self.records if r.injected]
-        if not injected:
+        cols = self.columns()
+        n_injected = int(cols.injected.sum())
+        if n_injected == 0:
             return float("nan")
-        return sum(1 for r in injected if r.detected) / len(injected)
+        hits = int(((cols.detected_counts > 0) & cols.injected).sum())
+        return hits / n_injected
 
     def false_positive_rate(self) -> float:
         """Fraction of non-injected runs that still flagged an error."""
-        clean = [r for r in self.records if not r.injected]
-        if not clean:
+        cols = self.columns()
+        clean = ~cols.injected
+        n_clean = int(clean.sum())
+        if n_clean == 0:
             return float("nan")
-        return sum(1 for r in clean if r.detected) / len(clean)
+        flags = int(((cols.detected_counts > 0) & clean).sum())
+        return flags / n_clean
 
     def total_rollbacks(self) -> int:
-        return sum(r.rollbacks for r in self.records)
+        return int(self.columns().rollbacks.sum())
 
     def __len__(self) -> int:
         return len(self.records)
 
 
-def _protector_counters(protector: Protector) -> tuple:
-    detections = getattr(protector, "total_detections", 0)
-    corrections = getattr(protector, "total_corrections", 0)
-    uncorrected = getattr(protector, "total_uncorrected", 0)
-    rollbacks = getattr(protector, "total_rollbacks", 0)
-    recomputed = getattr(protector, "total_recomputed_iterations", 0)
-    return detections, corrections, uncorrected, rollbacks, recomputed
+def resolve_run_counters(protector: Protector, run_report) -> tuple:
+    """The five per-run counters: protector statistics, run-report fallback.
+
+    Protectors that expose cumulative counters (the ABFT protectors) are
+    the authoritative source; a protector that does not expose a counter
+    at all (e.g. :class:`~repro.core.protector.NoProtection`) falls back
+    to the corresponding run-report total.  The distinction is made with
+    a missing-attribute sentinel, **not** truthiness: a protector that
+    legitimately counted zero keeps its zero instead of being silently
+    overridden by the run report.
+    """
+
+    def pick(attr: str, fallback: int) -> int:
+        value = getattr(protector, attr, None)
+        return int(fallback) if value is None else int(value)
+
+    return (
+        pick("total_detections", run_report.total_detected),
+        pick("total_corrections", run_report.total_corrected),
+        pick("total_uncorrected", run_report.total_uncorrected),
+        pick("total_rollbacks", run_report.total_rollbacks),
+        pick("total_recomputed_iterations", run_report.total_recomputed_iterations),
+    )
 
 
 def compute_reference(grid_factory: GridFactory, iterations: int) -> np.ndarray:
@@ -218,15 +322,8 @@ def run_campaign(
         elapsed = time.perf_counter() - start
 
         detections, corrections, uncorrected, rollbacks, recomputed = (
-            _protector_counters(protector)
+            resolve_run_counters(protector, run_report)
         )
-        # Fall back to the run report when the protector does not expose
-        # counters (e.g. NoProtection).
-        detections = detections or run_report.total_detected
-        corrections = corrections or run_report.total_corrected
-        uncorrected = uncorrected or run_report.total_uncorrected
-        rollbacks = rollbacks or run_report.total_rollbacks
-        recomputed = recomputed or run_report.total_recomputed_iterations
 
         record = RunRecord(
             run_index=run_index,

@@ -1,0 +1,885 @@
+"""High-throughput campaign engine: persistent workers, in-place resets.
+
+:func:`repro.faults.campaign.run_campaign` is the reference serial loop:
+every run allocates a fresh grid and a fresh protector and steps them
+one at a time.  Monte Carlo campaigns repeat the *same* configuration up
+to 1,000 times (Table 1 of the paper), so almost all of that per-run
+setup — buffer allocation, protector construction, epsilon/constant
+checksum precomputation — is redundant.  :class:`CampaignEngine` removes
+it:
+
+* **Batched dispatch.**  Runs are split into contiguous batches and
+  dispatched through the executor machinery of
+  :mod:`repro.parallel.executor` (``serial`` / ``threads`` / ``process``,
+  selected exactly like the tile executors: explicit kind, else the
+  process-wide default, else ``REPRO_EXECUTOR``, else serial).  Only the
+  campaign payload travels out once per batch and only compact per-run
+  record tuples travel back.
+
+* **Persistent per-worker state, reset in place.**  Each worker builds
+  the campaign state once (grid, protector, float64 reference scratch)
+  and reuses it for every subsequent batch of the same campaign: the
+  shared initial domain is copied back into the grid's persistent front
+  buffer (:meth:`~repro.stencil.grid.GridBase.restore`), the protector's
+  statistics are cleared (:meth:`~repro.core.protector.Protector.reset`)
+  and the next run starts — no per-run grid or protector allocation.
+
+* **Pre-drawn fault plans.**  The parent draws every run's fault plans
+  up front with the exact ``seed + run_index`` generator sequence of the
+  legacy loop, so the injected faults — and therefore every detection,
+  correction and arithmetic-error record — are bitwise-identical to
+  :func:`run_campaign` regardless of executor kind, worker count or
+  batch size.
+
+Two run strategies share that lifecycle:
+
+``replay``
+    The universal strategy: the persistent protector drives the
+    persistent grid through ``Protector.run`` exactly as the legacy loop
+    does, stepping through the backend-owned fused
+    ``step_into_with_checksums`` path — so a compiled backend (numba)
+    accelerates campaigns the same way it accelerates single runs.
+    Bitwise-identical to the legacy loop by construction (same code
+    path).  Used for the offline protector (checkpoint/rollback state),
+    custom protectors, custom inject hooks, and whenever a non-NumPy
+    backend is active.
+
+``stacked``
+    The batched fast path for the interpreted (``fused``/``numpy``)
+    backends, which are bound by per-call NumPy dispatch overhead at the
+    paper's 64x64x8 tile size: the whole batch of runs is laid out as
+    one extra trailing axis of a single persistent padded buffer pair,
+    and each campaign iteration performs the ghost refresh, the sweep
+    (in the fused backend's exact operation order), the checksum
+    reduction and the Theorem-1 interpolation for *all* runs of the
+    batch in one set of NumPy calls.  Elementwise operations and
+    single-axis reductions are bitwise-independent of the trailing batch
+    axis, so every run's numbers are identical to its serial execution;
+    the rare steps on which the vectorised detection screen flags a run
+    are delegated, for that run only, to the ordinary
+    :meth:`OnlineABFT.process` on per-run views — corrections reuse the
+    library implementation verbatim.  Eligibility is checked per
+    campaign (:func:`stacked_supported`); anything else replays.
+
+The engine powers every experiment harness
+(:mod:`repro.experiments.campaign_runner`, figures 10/11, sensitivity)
+and the ``repro campaign`` CLI subcommand;
+``benchmarks/bench_campaign.py`` gates the record equivalence, the
+zero-allocation property and the throughput gain in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.online import OnlineABFT
+from repro.core.protector import NoProtection, Protector
+from repro.faults.bitflip import flip_bit_in_array
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    GridFactory,
+    ProtectorFactory,
+    RunRecord,
+    compute_reference,
+    resolve_run_counters,
+)
+from repro.faults.injector import FaultInjector, FaultPlan, random_fault_plan
+from repro.parallel.executor import make_executor
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.doublebuffer import DoubleBufferedGrid
+from repro.stencil.grid import GridBase
+from repro.stencil.shift import interior_view
+
+__all__ = [
+    "CampaignEngine",
+    "draw_fault_plans",
+    "stacked_supported",
+]
+
+#: Per-worker campaign states kept alive between batches (the whole
+#: point of the engine).  Bounded so a long-lived pool sweeping many
+#: campaign configurations does not accumulate stacked buffer pairs.
+_STATE_CACHE_MAX = 4
+
+#: Backends whose sweeps/checksums the stacked strategy reproduces
+#: bitwise (interpreted NumPy op-order; see ``repro/backends/fused.py``:
+#: the fused backend's operation order is identical to the reference).
+_STACKED_BACKENDS = frozenset({"fused", "numpy"})
+
+#: Default cap on the stacked batch width.  Wider batches amortise the
+#: per-call NumPy overhead further but grow the persistent buffer pair
+#: linearly; 32 runs of the paper's 64x64x8 tile keep the pair ~11 MB.
+_DEFAULT_BATCH = 32
+
+#: Signature of a per-run hook factory (sensitivity-style experiments):
+#: called in the parent, in run order, so stateful RNG draws match the
+#: equivalent serial loop.
+HookFactory = Callable[[int], Callable]
+
+
+def draw_fault_plans(
+    config: CampaignConfig, shape: Sequence[int], dtype
+) -> List[List[FaultPlan]]:
+    """Pre-draw every run's fault plans with the legacy ``seed + i`` scheme.
+
+    Returns one (possibly empty) plan list per run.  The draws replicate
+    :func:`repro.faults.campaign.run_campaign` exactly — one fresh
+    ``default_rng(seed + run_index)`` per run, ``faults_per_run`` plans
+    from it — so engine campaigns inject bit-for-bit the same faults as
+    the legacy loop.
+    """
+    if not config.inject:
+        return [[] for _ in range(config.repetitions)]
+    plans: List[List[FaultPlan]] = []
+    for run_index in range(config.repetitions):
+        rng = np.random.default_rng(config.seed + run_index)
+        plans.append(
+            [
+                random_fault_plan(
+                    rng, shape, config.iterations, dtype=dtype, bit=config.bit
+                )
+                for _ in range(config.faults_per_run)
+            ]
+        )
+    return plans
+
+
+def _resolved_backend(grid: GridBase, protector: Protector):
+    """The backend the protector's sweeps will actually run through."""
+    backend = getattr(protector, "backend", None)
+    return backend if backend is not None else grid.backend
+
+
+def stacked_supported(grid: GridBase, protector: Protector) -> bool:
+    """Whether a campaign qualifies for the stacked batched fast path.
+
+    The stacked strategy re-implements the per-step pipeline with its
+    own (batched) NumPy calls, so it is restricted to configurations it
+    reproduces bitwise: standard double-buffered grids, the interpreted
+    backends, and the default online protector (single lazily-paired
+    verified checksum) or the unprotected baseline.  Everything else
+    takes the replay strategy, which is the legacy code path itself.
+    """
+    if not isinstance(grid, GridBase) or grid.ndim not in (2, 3):
+        return False
+    # A subclass that reimplements stepping owns semantics the stacked
+    # sweep would silently bypass.
+    if (
+        type(grid).step is not GridBase.step
+        or type(grid).step_with_checksums is not GridBase.step_with_checksums
+    ):
+        return False
+    if _resolved_backend(grid, protector).name not in _STACKED_BACKENDS:
+        return False
+    if isinstance(protector, NoProtection):
+        return True
+    if isinstance(protector, OnlineABFT):
+        return not protector.eager_row_checksum
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Worker-side campaign state
+# ---------------------------------------------------------------------------
+@dataclass
+class _CampaignMeta:
+    """Engine-side cache entry for one (grid, protector) factory pair.
+
+    Holding the factories keeps them (and therefore the identity/value
+    keys referring to them) alive for the cache's lifetime.
+    """
+
+    key_prefix: str
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    protector_name: str
+    grid_factory: GridFactory
+    protector_factory: ProtectorFactory
+
+
+@dataclass
+class _CampaignPayload:
+    """Everything a worker needs to (re)build one campaign's state."""
+
+    grid_factory: GridFactory
+    protector_factory: ProtectorFactory
+    config: CampaignConfig
+    reference: np.ndarray
+
+
+@dataclass
+class _BatchTask:
+    """One contiguous batch of runs of one campaign.
+
+    The payload rides along with every task (any pool worker may receive
+    any batch); workers cache the built state under ``key`` so only the
+    first batch a worker sees pays the construction cost.
+    """
+
+    key: str
+    payload: _CampaignPayload
+    start: int
+    plans: Tuple[Tuple[FaultPlan, ...], ...]
+    hooks: Optional[Tuple] = None
+    #: The campaign's full batch width.  A worker may receive the
+    #: (smaller) final batch first, so the stacked state is sized from
+    #: this hint rather than from the batch that happens to build it.
+    width_hint: int = 1
+    #: Caller requested the replay strategy even where stacking is
+    #: eligible (per-run timing fidelity; see ``CampaignEngine.run``).
+    force_replay: bool = False
+
+
+class _StackedBatch:
+    """Persistent stacked buffer pair executing whole batches of runs.
+
+    The batch of runs is one trailing axis of a single padded
+    :class:`DoubleBufferedGrid` pair.  Per campaign iteration: one ghost
+    refresh, one sweep (the fused backend's exact operation order: the
+    constant term seeds the accumulator, then every stencil point is
+    multiplied into a scratch buffer and added in spec order), one
+    checksum reduction and one Theorem-1 interpolation — each acting on
+    every run of the batch at once.  All buffers are allocated once and
+    reset in place between batches.
+    """
+
+    def __init__(
+        self,
+        grid: GridBase,
+        protector: Protector,
+        width: int,
+        initial: np.ndarray,
+    ) -> None:
+        self.width = int(width)
+        self.base_shape = grid.shape
+        self.base_radius = grid.radius
+        self.dtype = grid.dtype
+        self.spec = grid.spec
+        shape = self.base_shape + (self.width,)
+        radius = tuple(self.base_radius) + (0,)
+        boundary = BoundarySpec(
+            tuple(list(grid.boundary)) + (BoundaryCondition.clamp(),)
+        )
+        self.shape = shape
+        self.radius = radius
+        self.boundary = boundary
+        # The campaign's shared initial domain — passed explicitly (the
+        # worker grid may hold the final state of an earlier replay run).
+        self.initial = np.ascontiguousarray(initial)[..., None]
+        self.pair = DoubleBufferedGrid(
+            np.broadcast_to(self.initial, shape), radius, boundary,
+            dtype=self.dtype,
+        )
+        self.staging = np.empty(shape, dtype=self.dtype)
+        self.scratch = np.empty(shape, dtype=self.dtype)
+        self.constant = None if grid.constant is None else grid.constant[..., None]
+        # Stencil views of both buffers, built once per (buffer, width).
+        self._views: Dict[Tuple[int, int], List[Tuple[np.ndarray, np.ndarray]]] = {}
+        # 4D-extended (offset, weight) pairs for the stacked Theorem-1
+        # interpolation: the batch axis never shifts.
+        self.spec_ext = tuple((tuple(o) + (0,), w) for o, w in self.spec)
+
+        self.protector: Optional[OnlineABFT] = None
+        if isinstance(protector, OnlineABFT):
+            self.protector = protector
+            self.verify_axis = protector.verify_axis
+            self.cs_dtype = protector.checksum_dtype
+            self.epsilon = protector.epsilon
+            cs = protector._constant_sums[self.verify_axis]
+            self.constant_sum = None if cs is None else cs[..., None]
+
+    def _stencil_views(
+        self, padded: np.ndarray, width: int
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        key = (id(padded), width)
+        views = self._views.get(key)
+        if views is None:
+            if len(self._views) >= 8:
+                self._views.clear()
+            views = []
+            for offset, weight in self.spec:
+                slices = tuple(
+                    slice(r + o, r + o + n)
+                    for o, r, n in zip(offset, self.base_radius, self.base_shape)
+                ) + (slice(0, width),)
+                views.append(
+                    (padded[slices], np.asarray(weight, dtype=self.dtype))
+                )
+            self._views[key] = views
+        return views
+
+    def _sweep(self, width: int) -> None:
+        """One batched sweep, in the fused backend's operation order."""
+        out = self.staging[..., :width]
+        scratch = self.scratch[..., :width]
+        views = self._stencil_views(self.pair.front, width)
+        have_out = False
+        if self.constant is not None:
+            out[...] = 0
+            out += self.constant
+            have_out = True
+        for view, weight in views:
+            if not have_out:
+                np.multiply(view, weight, out=out)
+                have_out = True
+            else:
+                np.multiply(view, weight, out=scratch)
+                np.add(out, scratch, out=out)
+        interior_view(self.pair.back, self.radius)[..., :width] = out
+
+    def _refresh(self, width: int) -> None:
+        # Refresh only the active batch slice; the slab fills operate on
+        # views, so a partial final batch never touches the idle slots.
+        from repro.stencil.shift import refresh_ghosts
+
+        refresh_ghosts(
+            self.pair.front[..., :width], self.radius, self.boundary
+        )
+
+    def run_batch(
+        self,
+        plans: Sequence[Sequence[FaultPlan]],
+        config: CampaignConfig,
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Execute one batch of runs; returns (counters, finals, elapsed).
+
+        ``counters`` has shape ``(batch, 3)`` — detections, corrections,
+        uncorrected — ``finals`` is the stacked final interiors (a view
+        into the pair, valid until the next batch), and ``elapsed`` is
+        the wall-clock time of the iteration loop only (resets and error
+        norms excluded, matching what the legacy loop times).
+        """
+        width = len(plans)
+        if width > self.width:
+            raise ValueError(
+                f"batch of {width} runs exceeds stacked width {self.width}"
+            )
+        iterations = config.iterations
+        # In-place reset: every slot restarts from the shared initial
+        # domain; no allocation.
+        interior_view(self.pair.front, self.radius)[..., :width] = self.initial
+
+        by_iteration: Dict[int, List[Tuple[int, FaultPlan]]] = {}
+        for slot, run_plans in enumerate(plans):
+            for plan in run_plans:
+                by_iteration.setdefault(plan.iteration, []).append((slot, plan))
+
+        counters = np.zeros((width, 3), dtype=np.int64)
+        protector = self.protector
+        verify = self.verify_axis if protector is not None else 0
+
+        start = time.perf_counter()
+        interior = interior_view(self.pair.front, self.radius)[..., :width]
+        if protector is not None:
+            # Step t=0 data assumed correct (Theorem 2), as in
+            # OnlineABFT.step's first-iteration checksum seed.
+            prev_cs = np.sum(interior, axis=verify, dtype=self.cs_dtype)
+        for t in range(1, iterations + 1):
+            self._refresh(width)
+            self._sweep(width)
+            self.pair.swap()
+            interior = interior_view(self.pair.front, self.radius)[..., :width]
+            fired = by_iteration.get(t)
+            if fired is not None:
+                for slot, plan in fired:
+                    flip_bit_in_array(interior[..., slot], plan.index, plan.bit)
+            if protector is None:
+                continue
+            cs = np.sum(interior, axis=verify, dtype=self.cs_dtype)
+            predicted = _interpolate_stacked(
+                prev_cs,
+                self.pair.back[..., :width],
+                self.spec_ext,
+                self.radius,
+                self.base_shape + (width,),
+                verify,
+                self.constant_sum,
+            )
+            flagged = _detection_screen(cs, predicted, self.epsilon)
+            if flagged is not None:
+                for slot in flagged:
+                    # Delegate the rare detection step to the library
+                    # protector on per-run views: the checksum recompute,
+                    # interpolation, localisation and correction are the
+                    # exact legacy code (bitwise-equal inputs, so the
+                    # same decision the screen made), and corrections
+                    # write back into the stacked pair through the view.
+                    protector.reset()
+                    protector._prev_cs[verify] = np.ascontiguousarray(
+                        prev_cs[..., slot]
+                    )
+                    report = protector.process(
+                        interior[..., slot], self.pair.back[..., slot], t
+                    )
+                    counters[slot, 0] += report.errors_detected
+                    counters[slot, 1] += report.errors_corrected
+                    counters[slot, 2] += report.errors_uncorrected
+                    cs[..., slot] = protector._prev_cs[verify]
+            prev_cs = cs
+        elapsed = time.perf_counter() - start
+        if protector is not None:
+            protector.reset()
+        return counters, interior, elapsed
+
+
+def _interpolate_stacked(
+    prev_cs: np.ndarray,
+    padded_prev: np.ndarray,
+    spec_ext,
+    radius,
+    shape,
+    verify: int,
+    constant_sum: Optional[np.ndarray],
+) -> np.ndarray:
+    """Theorem-1 interpolation of the whole batch in one call.
+
+    ``interpolate_checksum_padded`` is dimension-generic and only
+    iterates ``(offset, weight)`` pairs from its ``spec`` argument, so
+    handing it the batch-extended offsets (batch axis shift 0, ghost
+    radius 0) interpolates every run's checksum at once; the boundary
+    strips it reduces are per-run independent, keeping the result
+    bitwise equal to the per-run calls of the serial protector.
+    """
+    from repro.core.interpolation import interpolate_checksum_padded
+
+    return interpolate_checksum_padded(
+        prev_cs, padded_prev, spec_ext, radius, shape, verify,
+        constant_sum=constant_sum,
+    )
+
+
+def _detection_screen(
+    computed: np.ndarray, predicted: np.ndarray, epsilon: float
+) -> Optional[np.ndarray]:
+    """Batch slots whose checksums mismatch, or ``None`` when all clean.
+
+    Replicates :func:`repro.core.detection.relative_discrepancy`
+    elementwise over the stacked checksums, so a slot is flagged exactly
+    when the serial protector's ``detect_errors`` would have flagged the
+    run — the flagged slots then re-run the full detection on their own
+    views.
+    """
+    from repro.core.detection import relative_discrepancy
+
+    rel = relative_discrepancy(computed, predicted)
+    flagged = rel > epsilon
+    if not flagged.any():
+        return None
+    return np.unique(np.argwhere(flagged)[:, -1])
+
+
+class _WorkerCampaign:
+    """One worker's persistent state for one campaign configuration."""
+
+    def __init__(self, payload: _CampaignPayload, batch_width: int) -> None:
+        self.config = payload.config
+        self.batch_width = max(1, int(batch_width))
+        self.grid = payload.grid_factory()
+        self.protector = payload.protector_factory(self.grid)
+        self.snapshot0 = self.grid.snapshot()
+        # Float64 reference + scratch for the allocation-free l2 error
+        # (bitwise-identical to repro.metrics.accuracy.l2_error).
+        self.reference64 = np.asarray(payload.reference, dtype=np.float64)
+        self._diff64 = np.empty(self.reference64.shape, dtype=np.float64)
+        self._final32 = np.empty(self.grid.shape, dtype=self.grid.dtype)
+        self.stacked: Optional[_StackedBatch] = None
+        self.use_stacked = stacked_supported(self.grid, self.protector)
+        # One short warm-up pays the one-off costs (lazy imports, scratch
+        # growth, JIT cache loads) outside the timed runs, mirroring the
+        # legacy loop's untimed warm-up run.
+        self.protector.reset()
+        self.protector.run(self.grid, min(3, self.config.iterations))
+        self.grid.restore(self.snapshot0)
+        self.protector.reset()
+
+    def _ensure_stacked(self, width: int) -> _StackedBatch:
+        # Built lazily (hook-driven campaigns replay and never need the
+        # stacked pair) and regrown if a wider batch ever arrives.  The
+        # snapshot — never the grid, which an earlier replay batch may
+        # have left at its final state — seeds every stacked slot.
+        if self.stacked is None or self.stacked.width < width:
+            self.stacked = _StackedBatch(
+                self.grid,
+                self.protector,
+                max(width, self.batch_width),
+                self.snapshot0.u,
+            )
+        return self.stacked
+
+    def _l2_error(self, u: np.ndarray) -> float:
+        """``l2_error(reference, u)`` without the full-domain temporaries."""
+        np.subtract(self.reference64, u, out=self._diff64)
+        np.multiply(self._diff64, self._diff64, out=self._diff64)
+        return float(np.sqrt(np.sum(self._diff64)))
+
+    def execute(self, task: _BatchTask) -> List[Tuple]:
+        if task.hooks is None and not task.force_replay and self.use_stacked:
+            return self._execute_stacked(task)
+        return self._execute_replay(task)
+
+    def _execute_stacked(self, task: _BatchTask) -> List[Tuple]:
+        stacked = self._ensure_stacked(len(task.plans))
+        counters, finals, elapsed = stacked.run_batch(task.plans, self.config)
+        width = len(task.plans)
+        per_run = elapsed / max(1, width)
+        results: List[Tuple] = []
+        for slot in range(width):
+            # Contiguous copy first: the error norm then reduces exactly
+            # the arrays the serial loop reduces.
+            self._final32[...] = finals[..., slot]
+            error = self._l2_error(self._final32)
+            det, cor, unc = (int(v) for v in counters[slot])
+            results.append(
+                (task.start + slot, per_run, error, det, cor, unc, 0, 0)
+            )
+        return results
+
+    def _execute_replay(self, task: _BatchTask) -> List[Tuple]:
+        results: List[Tuple] = []
+        for slot, run_plans in enumerate(task.plans):
+            self.grid.restore(self.snapshot0)
+            self.protector.reset()
+            if task.hooks is not None:
+                hook = task.hooks[slot]
+            else:
+                hook = FaultInjector(list(run_plans)) if run_plans else None
+            start = time.perf_counter()
+            report = self.protector.run(
+                self.grid, self.config.iterations, inject=hook
+            )
+            elapsed = time.perf_counter() - start
+            det, cor, unc, rb, rec = resolve_run_counters(self.protector, report)
+            error = self._l2_error(self.grid.u)
+            results.append(
+                (task.start + slot, elapsed, error, det, cor, unc, rb, rec)
+            )
+        return results
+
+
+_WORKER_LOCAL = threading.local()
+
+
+def _execute_batch(task: _BatchTask) -> List[Tuple]:
+    """Worker entry point: resolve (or build) the cached state, run one batch.
+
+    Module-level so process pools can import it by reference; the state
+    cache is thread-local so the thread executor's workers never share
+    mutable campaign state.
+    """
+    cache: Dict[str, _WorkerCampaign] = getattr(_WORKER_LOCAL, "cache", None)
+    if cache is None:
+        cache = _WORKER_LOCAL.cache = {}
+    state = cache.get(task.key)
+    if state is None:
+        if len(cache) >= _STATE_CACHE_MAX:
+            cache.clear()
+        state = cache[task.key] = _WorkerCampaign(task.payload, task.width_hint)
+    return state.execute(task)
+
+
+def _execute_batch_group(tasks: Sequence[_BatchTask]) -> List[List[Tuple]]:
+    """Run a contiguous group of batches in one pool task.
+
+    The process executor dispatches one group per worker: all batches of
+    a group travel in a single pickle graph, where the shared campaign
+    payload (reference array, factories) is memoised and serialised
+    once — instead of once per batch — keeping the pipe traffic at
+    "payload once per worker plus compact record tuples".
+    """
+    return [_execute_batch(task) for task in tasks]
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+class CampaignEngine:
+    """Throughput-oriented campaign harness over a persistent worker pool.
+
+    Parameters
+    ----------
+    executor:
+        Executor kind (``"serial"``, ``"threads"``, ``"process"``) or
+        ``None`` to follow the process-wide default chain (what
+        ``--executor`` / ``REPRO_EXECUTOR`` select), exactly like
+        :func:`repro.parallel.executor.make_executor`.
+    workers:
+        Worker count for the pool executors (``None`` →
+        :func:`resolve_workers`' default chain).
+    batch_size:
+        Runs per dispatched batch (``None`` → automatic: bounded by 32
+        and by an even split across the workers).  Batch size affects
+        scheduling and the stacked width only — records are
+        bitwise-independent of it.
+
+    Notes
+    -----
+    Results are identical to :func:`run_campaign` for every field except
+    ``elapsed_seconds`` (a measurement, not a result; under the stacked
+    strategy each run of a batch reports the batch mean).  The engine is
+    reusable and cheap to keep around: worker-side campaign state is
+    cached between :meth:`run` calls with the same factories, which is
+    what makes chunked benchmark loops and multi-scenario experiment
+    sweeps fast.  Use as a context manager (or call :meth:`shutdown`) to
+    release pool workers deterministically.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        self._kind = executor
+        self._workers = workers
+        self.batch_size = None if batch_size is None else max(1, int(batch_size))
+        self._executor = None
+        # Campaign metadata keyed by the factory pair *by value* (bound
+        # methods and the experiment factory dataclasses hash/compare by
+        # content, so repeated ``engine.run(app.build_grid, factory)``
+        # calls — the chunked-benchmark and figure-sweep pattern — hit
+        # the same entry and reuse the worker-side state).  Unhashable
+        # factories fall back to identity keys.
+        self._campaigns: Dict[object, "_CampaignMeta"] = {}
+        self._key_serial = 0
+        self._token = f"{id(self):x}-{time.monotonic_ns():x}"
+
+    # -- executor lifecycle -------------------------------------------------
+    @property
+    def executor(self):
+        """The lazily built executor running this engine's batches."""
+        if self._executor is None:
+            self._executor = make_executor(self._kind, self._workers)
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Release the worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "CampaignEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    @classmethod
+    @contextmanager
+    def shared(
+        cls, engine: Optional["CampaignEngine"] = None, **kwargs
+    ) -> Iterator["CampaignEngine"]:
+        """Yield ``engine`` as-is, or a private one shut down on exit.
+
+        The experiment harnesses all take an optional engine so a caller
+        can keep one worker pool alive across figures; this is the one
+        place the create-if-absent/shutdown-if-owned lifecycle lives.
+        """
+        if engine is not None:
+            yield engine
+            return
+        own = cls(**kwargs)
+        try:
+            yield own
+        finally:
+            own.shutdown()
+
+    # -- dispatch ------------------------------------------------------------
+    def _campaign_meta(
+        self, grid_factory, protector_factory
+    ) -> "_CampaignMeta":
+        """Per-campaign metadata, resolved once per factory pair.
+
+        Besides the worker-cache key prefix, the entry caches the sample
+        grid's shape/dtype and the protector name, so repeated
+        :meth:`run` calls (chunked benchmarks, figure sweeps) skip the
+        sample-grid construction entirely.  The key deliberately
+        excludes ``seed`` and ``repetitions``, which do not enter the
+        persistent worker state.
+        """
+        try:
+            ident: object = (grid_factory, protector_factory)
+            meta = self._campaigns.get(ident)
+        except TypeError:  # unhashable factory
+            ident = (id(grid_factory), id(protector_factory))
+            meta = self._campaigns.get(ident)
+        if meta is None:
+            if len(self._campaigns) >= 64:
+                self._campaigns.clear()
+            self._key_serial += 1
+            sample = grid_factory()
+            meta = _CampaignMeta(
+                key_prefix=f"engine-{self._token}-{self._key_serial}",
+                shape=sample.shape,
+                dtype=sample.dtype,
+                protector_name=getattr(
+                    protector_factory(sample), "name", "protector"
+                ),
+                grid_factory=grid_factory,
+                protector_factory=protector_factory,
+            )
+            self._campaigns[ident] = meta
+        return meta
+
+    @staticmethod
+    def _campaign_key(
+        meta: "_CampaignMeta", config: CampaignConfig, reference: np.ndarray
+    ) -> str:
+        """Worker-cache key: factory pair + iterations + reference digest.
+
+        The digest guards against a caller handing a different baseline
+        for the same factories — a stale error scratch would silently
+        skew every arithmetic-error record.
+        """
+        digest = hashlib.sha1(
+            np.ascontiguousarray(reference).tobytes()
+        ).hexdigest()[:12]
+        return f"{meta.key_prefix}-i{config.iterations}-r{digest}"
+
+    def _auto_batch(self, repetitions: int) -> int:
+        if self.batch_size is not None:
+            return min(self.batch_size, repetitions)
+        workers = getattr(self.executor, "workers", 1) or 1
+        spread = -(-repetitions // workers)  # ceil
+        return max(1, min(_DEFAULT_BATCH, spread))
+
+    def run(
+        self,
+        grid_factory: GridFactory,
+        protector_factory: ProtectorFactory,
+        config: CampaignConfig,
+        reference: Optional[np.ndarray] = None,
+        hook_factory: Optional[HookFactory] = None,
+        strategy: Optional[str] = None,
+    ) -> CampaignResult:
+        """Execute a campaign; same contract as :func:`run_campaign`.
+
+        Parameters
+        ----------
+        grid_factory, protector_factory, config, reference:
+            As for :func:`repro.faults.campaign.run_campaign`.  With the
+            process executor both factories must be picklable (the
+            experiment factories are; ad-hoc closures are not — use the
+            serial or thread executor for those).
+        hook_factory:
+            Optional per-run inject-hook factory, called in the parent
+            in run order (so factories drawing from a shared RNG see the
+            same sequence as an explicit serial loop).  Hooks force the
+            replay strategy and *replace* the fault-plan injector, so
+            they are only valid on campaigns with ``inject=False`` — a
+            record must never carry fault plans that did not fire.
+            Hooks must be picklable under the process executor.
+        strategy:
+            ``None``/``"auto"`` picks the fastest eligible strategy per
+            campaign; ``"replay"`` forces the per-run replay even where
+            stacking is eligible.  Use ``"replay"`` when the *per-run
+            time distribution* is the experiment's measurand (Figure 8):
+            the stacked strategy executes a whole batch together and can
+            only report the batch-mean elapsed per run.
+        """
+        if hook_factory is not None and config.inject:
+            raise ValueError(
+                "hook_factory replaces the fault-plan injector; use "
+                "inject=False (records would otherwise carry fault plans "
+                "that never fired)"
+            )
+        if strategy not in (None, "auto", "replay"):
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected 'auto' or 'replay'"
+            )
+        force_replay = strategy == "replay"
+        if reference is None:
+            reference = compute_reference(grid_factory, config.iterations)
+        meta = self._campaign_meta(grid_factory, protector_factory)
+        plans = draw_fault_plans(config, meta.shape, meta.dtype)
+        hooks = None
+        if hook_factory is not None:
+            hooks = [hook_factory(i) for i in range(config.repetitions)]
+
+        payload = _CampaignPayload(
+            grid_factory=grid_factory,
+            protector_factory=protector_factory,
+            config=config,
+            reference=np.asarray(reference),
+        )
+        key = self._campaign_key(meta, config, payload.reference)
+        batch = self._auto_batch(config.repetitions)
+        tasks: List[_BatchTask] = []
+        for start in range(0, config.repetitions, batch):
+            stop = min(start + batch, config.repetitions)
+            tasks.append(
+                _BatchTask(
+                    key=key,
+                    payload=payload,
+                    start=start,
+                    plans=tuple(tuple(p) for p in plans[start:stop]),
+                    hooks=None if hooks is None else tuple(hooks[start:stop]),
+                    width_hint=batch,
+                    force_replay=force_replay,
+                )
+            )
+
+        executor = self.executor
+        if executor.kind == "process":
+            self._check_picklable(tasks[0])
+            # One contiguous task group per worker: the shared payload
+            # pickles once per group (pickle memoisation), not per batch.
+            workers = max(1, getattr(executor, "workers", 1) or 1)
+            n_groups = min(workers, len(tasks))
+            base, extra = divmod(len(tasks), n_groups)
+            groups: List[List[_BatchTask]] = []
+            start_idx = 0
+            for g in range(n_groups):
+                size = base + (1 if g < extra else 0)
+                groups.append(tasks[start_idx:start_idx + size])
+                start_idx += size
+            batches = [
+                rows
+                for group_rows in executor.map(_execute_batch_group, groups)
+                for rows in group_rows
+            ]
+        else:
+            batches = executor.map(_execute_batch, tasks)
+
+        result = CampaignResult(
+            config=config, protector_name=meta.protector_name
+        )
+        for task, rows in zip(tasks, batches):
+            for row in rows:
+                run_index, elapsed, error, det, cor, unc, rb, rec = row
+                run_plans = list(plans[run_index])
+                result.records.append(
+                    RunRecord(
+                        run_index=run_index,
+                        elapsed_seconds=float(elapsed),
+                        arithmetic_error=float(error),
+                        fault=run_plans[0] if run_plans else None,
+                        errors_detected=int(det),
+                        errors_corrected=int(cor),
+                        errors_uncorrected=int(unc),
+                        rollbacks=int(rb),
+                        recomputed_iterations=int(rec),
+                        faults=run_plans,
+                    )
+                )
+        return result
+
+    @staticmethod
+    def _check_picklable(task: _BatchTask) -> None:
+        try:
+            pickle.dumps(task)
+        except Exception as exc:
+            raise ValueError(
+                "the process executor requires picklable campaign "
+                "factories (module-level callables or factory objects; "
+                "see repro.experiments.common.make_protector_factory) — "
+                f"pickling the first batch failed with: {exc!r}"
+            ) from None

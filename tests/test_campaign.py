@@ -4,11 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.online import OnlineABFT
-from repro.core.protector import NoProtection
+from repro.core.protector import NoProtection, RunReport, StepReport
 from repro.faults.campaign import (
     CampaignConfig,
     RunRecord,
     compute_reference,
+    resolve_run_counters,
     run_campaign,
 )
 from repro.stencil.boundary import BoundaryCondition
@@ -117,3 +118,75 @@ class TestRunCampaign:
         )
         assert not record.injected
         assert not record.detected
+
+
+class TestResolveRunCounters:
+    @staticmethod
+    def _report(detected=0, corrected=0, uncorrected=0, rollback=False):
+        report = RunReport()
+        report.add(
+            StepReport(
+                iteration=1,
+                errors_detected=detected,
+                errors_corrected=corrected,
+                errors_uncorrected=uncorrected,
+                rollback=rollback,
+            )
+        )
+        return report
+
+    def test_missing_counters_fall_back_to_run_report(self):
+        counters = resolve_run_counters(
+            NoProtection(), self._report(detected=2, corrected=1)
+        )
+        assert counters == (2, 1, 0, 0, 0)
+
+    def test_genuine_zero_counter_survives(self):
+        # The protector exposes the counter and counted 0; a truthiness
+        # fallback would overwrite it with the run report's nonzero sum.
+        class CountingProtector(NoProtection):
+            total_detections = 0
+            total_corrections = 0
+            total_uncorrected = 0
+
+        counters = resolve_run_counters(
+            CountingProtector(), self._report(detected=3, corrected=3)
+        )
+        assert counters[:3] == (0, 0, 0)
+        # Counters the protector does not expose still fall back.
+        counters = resolve_run_counters(
+            CountingProtector(), self._report(rollback=True)
+        )
+        assert counters[3] == 1
+
+
+class TestColumnarSummaries:
+    @staticmethod
+    def _result(n=4):
+        factory = _grid_factory()
+        config = CampaignConfig(iterations=6, repetitions=n, inject=True, seed=5)
+        return run_campaign(factory, lambda g: NoProtection(), config)
+
+    def test_times_and_errors_are_arrays(self):
+        result = self._result()
+        times, errors = result.times(), result.errors()
+        assert isinstance(times, np.ndarray) and times.dtype == np.float64
+        assert isinstance(errors, np.ndarray) and errors.dtype == np.float64
+        assert list(times) == [r.elapsed_seconds for r in result.records]
+        assert list(errors) == [r.arithmetic_error for r in result.records]
+
+    def test_columns_cached_until_records_change(self):
+        result = self._result()
+        first = result.columns()
+        assert result.columns() is first
+        result.records.append(result.records[0])
+        refreshed = result.columns()
+        assert refreshed is not first
+        assert len(refreshed.elapsed) == len(result.records)
+
+    def test_rates_match_record_scan(self):
+        result = self._result(6)
+        injected = [r for r in result.records if r.injected]
+        expected = sum(1 for r in injected if r.detected) / len(injected)
+        assert result.detection_rate() == expected
+        assert result.total_rollbacks() == sum(r.rollbacks for r in result.records)
