@@ -18,13 +18,20 @@ ship built in:
 A third backend is gated on an optional dependency:
 
 ``numba``
-    JIT-compiled per-point fusion: ``@njit(cache=True, parallel=True)``
-    kernels whose single traversal refreshes ghost cells, sweeps into
-    the back buffer and accumulates both checksum vectors per point
-    (the true fusion the ``fused`` backend's docstring defers to a
-    compiled loop).  Registered only when ``numba`` is importable;
-    otherwise it is listed as unavailable (``repro backends``) and
-    selecting it raises a message explaining how to enable it.
+    JIT-compiled per-point fusion: kernels **generated** by the stencil
+    kernel compiler (:mod:`repro.backends.codegen`) from the spec's
+    offset table plus the grid layout, compiled with
+    ``@njit(cache=True, parallel=True)``.  One traversal refreshes
+    ghost cells, sweeps into the back buffer and accumulates both
+    checksum vectors per point (the true fusion the ``fused`` backend's
+    docstring defers to a compiled loop), and the halo plan covers
+    *every* layout — boundary mixes, external-axis orderings, degenerate
+    periodic wraps — so nothing ever falls back to an interpreted step.
+    Registered only when ``numba`` is importable (the sole availability
+    condition); otherwise it is listed as unavailable
+    (``repro backends``) and selecting it raises a message explaining
+    how to enable it.  ``repro backends --kernels`` lists the generated
+    kernel cache.
 
 All built-ins also implement the zero-copy ``sweep_into`` primitive
 (write the new step directly into the interior of a second persistent

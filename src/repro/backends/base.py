@@ -58,10 +58,39 @@ import numpy as np
 
 from repro.stencil.spec import StencilSpec
 
-__all__ = ["Backend", "ChecksumMap"]
+__all__ = [
+    "Backend",
+    "ChecksumMap",
+    "interpreted_step_counts",
+    "reset_interpreted_step_counts",
+]
 
 #: ``{reduce_axis: checksum_vector}`` as produced by the fused sweep.
 ChecksumMap = Dict[int, np.ndarray]
+
+#: Per-backend count of steps that took the *interpreted* path — the
+#: base ``step_into*`` implementations below (separate
+#: ``refresh_ghosts`` pass + sweep) rather than a backend-owned fused
+#: step.  CI uses this to assert that a compiled backend never silently
+#: falls back: run the suite with ``REPRO_ASSERT_COMPILED_STEPS=numba``
+#: and the session hook in ``tests/conftest.py`` fails if the named
+#: backend recorded any interpreted step.
+_INTERPRETED_STEPS: Dict[str, int] = {}
+
+
+def interpreted_step_counts() -> Dict[str, int]:
+    """Snapshot of ``{backend name: interpreted step count}``."""
+    return dict(_INTERPRETED_STEPS)
+
+
+def reset_interpreted_step_counts() -> None:
+    """Clear the interpreted-step counters (test isolation)."""
+    _INTERPRETED_STEPS.clear()
+
+
+def _record_interpreted_step(backend: "Backend") -> None:
+    name = getattr(backend, "name", "abstract")
+    _INTERPRETED_STEPS[name] = _INTERPRETED_STEPS.get(name, 0) + 1
 
 
 class Backend(ABC):
@@ -275,10 +304,25 @@ class Backend(ABC):
         ``False`` (the default) means the base implementations below run
         the separate :func:`~repro.stencil.shift.refresh_ghosts` pass
         before sweeping — still correct, just not a single traversal.
-        Backends answer per configuration so they can decline corner
-        cases (e.g. degenerate periodic halos wider than the interior).
+        The answer is per configuration only so a backend can report
+        what it *does* for a layout; the built-in compiled backend
+        generates a kernel for every layout and always answers ``True``.
         """
         return False
+
+    #: Whether this backend generates/compiles kernels (and therefore
+    #: has something to report from :meth:`compiled_kernels`).
+    compiles_kernels: bool = False
+
+    def compiled_kernels(self) -> Tuple[Dict, ...]:
+        """Stats for the backend's compiled-kernel cache entries.
+
+        Interpreted backends have none and return an empty tuple; a
+        compiling backend returns one dict per generated kernel module
+        (signature, codegen/warmup time, hit counts...) — surfaced by
+        ``repro backends --kernels`` and the backend benchmark.
+        """
+        return ()
 
     def step_into(
         self,
@@ -312,6 +356,7 @@ class Backend(ABC):
         """
         from repro.stencil.shift import refresh_ghosts
 
+        _record_interpreted_step(self)
         refresh_ghosts(src_padded, radius, boundary, axes=refresh_axes)
         return self.sweep_into(
             src_padded, dst_padded, spec, radius, interior_shape, constant=constant
@@ -340,6 +385,7 @@ class Backend(ABC):
         """
         from repro.stencil.shift import refresh_ghosts
 
+        _record_interpreted_step(self)
         refresh_ghosts(src_padded, radius, boundary, axes=refresh_axes)
         return self.sweep_into_with_checksums(
             src_padded,
@@ -358,13 +404,19 @@ class Backend(ABC):
         boundary=None,
         dtype=np.float32,
         checksum_dtype=np.float64,
+        radius=None,
+        external_axes: Sequence[int] = (),
     ) -> None:
         """Prepare the backend for an operator before timing-sensitive work.
 
         A no-op by default.  JIT backends override this to trigger (or
         load from the on-disk cache) the compilation of every kernel the
         operator will need, so the one-off compile cost never lands
-        inside a benchmark loop or a worker process mid-run.
+        inside a benchmark loop or a worker process mid-run.  ``radius``
+        and ``external_axes`` describe the buffer layout the caller will
+        step (ghost width beyond the stencil radius; distributed axes
+        whose halo arrives from neighbours) so layout-specialized
+        kernels can be prepared as well.
         """
 
     def __repr__(self) -> str:

@@ -1,0 +1,50 @@
+"""A tiny stencil kernel compiler: spec + layout → fused numba source.
+
+This package replaces the numba backend's hand-written kernels with a
+three-pass lowering pipeline (the ROADMAP's "stencil IR"):
+
+1. **halo plan** (:mod:`repro.backends.codegen.plan`) — each axis's
+   boundary kind (clamp, periodic — degenerate wraps included —
+   fill, external/distributed) becomes an explicit ghost index-mapping
+   rule, so no layout is ever declined;
+2. **fusion + emit** (:mod:`repro.backends.codegen.emit`) — the spec's
+   offset table is unrolled into a straight-line inner loop that also
+   folds each output value into its row/column checksum partials, and
+   rendered as 2D/3D ``@njit``-ready source;
+3. **compile + cache** (:mod:`repro.backends.codegen.compiler`) — the
+   source lands in an on-disk cache directory keyed by a canonical
+   signature, is imported as a real module and decorated with
+   ``njit(cache=True)`` so compiled artifacts persist across processes
+   and runs.  Without numba the same generated source executes as plain
+   Python, which is how its semantics are tested everywhere.
+"""
+
+from repro.backends.codegen.compiler import (
+    CACHE_DIR_ENV_VAR,
+    CompiledKernels,
+    KernelCompiler,
+    default_cache_dir,
+    get_compiler,
+)
+from repro.backends.codegen.emit import emit_module
+from repro.backends.codegen.plan import (
+    CODEGEN_VERSION,
+    AxisHaloPlan,
+    KernelPlan,
+    plan_kernel,
+)
+from repro.backends.codegen.runtime import NUMBA_JIT
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "CODEGEN_VERSION",
+    "NUMBA_JIT",
+    "AxisHaloPlan",
+    "CompiledKernels",
+    "KernelCompiler",
+    "KernelPlan",
+    "default_cache_dir",
+    "emit_module",
+    "get_compiler",
+    "plan_kernel",
+]

@@ -1,0 +1,41 @@
+"""Execution-environment shim for generated kernels.
+
+Generated kernel modules import ``prange`` from here instead of from
+``numba`` directly, so the *same* emitted source runs in two modes:
+
+* with numba installed, :data:`NUMBA_JIT` is true, ``prange`` is
+  ``numba.prange`` and the compiler decorates the module's functions
+  with ``numba.njit`` after loading them;
+* without numba, ``prange`` degrades to ``range`` and the functions run
+  as plain Python over NumPy arrays — the mode the test suite uses to
+  validate generated index arithmetic bit for bit on machines without
+  the optional dependency.
+
+(``numba.prange`` itself behaves like ``range`` when the enclosing
+function is executed uncompiled, so a ``jit=False``
+:class:`~repro.backends.codegen.compiler.KernelCompiler` is safe in
+both environments.)
+"""
+
+from __future__ import annotations
+
+__all__ = ["NUMBA_JIT", "njit", "prange"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_JIT = True
+except ImportError:
+    NUMBA_JIT = False
+
+    def njit(*args, **kwargs):
+        """Identity decorator standing in for ``numba.njit``."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def deco(fn):
+            return fn
+
+        return deco
+
+    prange = range

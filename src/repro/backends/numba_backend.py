@@ -1,4 +1,4 @@
-"""The ``numba`` backend: JIT-compiled per-point fusion of the hot loop.
+"""The ``numba`` backend: generated, JIT-compiled fused kernels.
 
 The interpreted backends can only fuse at *call* granularity — the
 ``fused`` backend's docstring records that a per-stencil-point
@@ -7,28 +7,37 @@ point would pay an extra full reduction pass.  Once the loop is
 compiled that trade-off inverts: a single traversal of the buffer pair
 can refresh the ghost cells, apply the stencil and accumulate both
 checksum vectors *per point*, touching every domain value exactly once
-per protected iteration.  That is what this backend provides:
+per protected iteration.
 
-* ``sweep_padded`` / ``sweep_into`` — ``@njit(cache=True,
-  parallel=True)`` stencil kernels (2D and 3D, arbitrary offsets and
-  weights, optional constant term), accumulating in the domain dtype in
-  the same offset order as the ``numpy`` reference.
+This backend no longer ships hand-written kernels.  Every kernel it
+runs is **generated** by the stencil kernel compiler
+(:mod:`repro.backends.codegen`) from the spec's offset table plus the
+grid layout — per-axis ghost width, boundary kind and external-axis
+set.  Because the halo plan lowers each boundary kind into an explicit
+index mapping (periodic as exact modular tiling, valid for degenerate
+``r > n`` wraps too; external axes as "span me like interior"), there
+is no layout this backend declines: arbitrary boundary mixes, every
+external-axis ordering and degenerate periodic halos all run the
+compiled path.  Aliasing buffer pairs are handled *inside* the backend
+by staging through a cached scratch buffer — still the compiled kernel,
+never an interpreted fallback.
+
+* ``sweep_padded`` / ``sweep_into`` — generated sweeps (2D and 3D,
+  offsets unrolled, weights as a pre-cast runtime vector, optional
+  constant term), accumulating in the domain dtype in the same order as
+  the ``numpy`` reference — the swept interior is bit-identical to it.
 * ``sweep_with_checksums`` / ``sweep_into_with_checksums`` — the same
-  traversal also accumulates the row and column checksums per point:
-  each freshly computed value is added to its row partial and its
-  column partial before the loop moves on, instead of re-reading the
-  result in a post-hoc reduction pass.  Column partials are per-``x``
-  thread-private buffers merged by a parfor array reduction, so the
-  parallel loop stays race-free.
+  traversal also folds each freshly computed value into its row and
+  column partials (``cs1`` indexed by the parallel loop variable,
+  ``cs0`` merged by a parfor array reduction over thread-private
+  partials).
 * ``step_into`` / ``step_into_with_checksums`` — the backend *owns the
   ghost refresh* (see :meth:`~repro.backends.base.Backend.supports_fused_step`):
-  one compiled call re-fills the source halo from the boundary
-  condition (bit-identical to
+  one compiled call re-fills the source halo (bit-identical to
   :func:`repro.stencil.shift.refresh_ghosts`, corners owned by the
   highest axis), sweeps into the back buffer and accumulates the
   checksums — the whole protected iteration without returning to the
-  interpreter.  Degenerate periodic halos (ghost wider than the
-  interior) fall back to the base refresh-then-sweep path.
+  interpreter, for **every** layout.
 
 Checksums are accumulated sequentially per row/column in the requested
 dtype, whereas ``numpy.sum`` reduces pairwise — the results differ by a
@@ -36,25 +45,31 @@ few ULPs, orders of magnitude below ``recommend_epsilon``, which is the
 contract every backend is held to (see ``tests/test_backends.py``).
 
 The module is importable without ``numba``: :data:`NUMBA_AVAILABLE`
-reports the gate, and ``repro.backends`` registers the backend only
-when the import succeeds (otherwise it is listed as unavailable).  All
-kernels are compiled with ``cache=True`` so the compilation cost is
-paid once per machine, not once per process — worker processes of the
+reports the import gate, and ``repro.backends`` registers the backend
+only when the import succeeds (otherwise it is listed as unavailable —
+the *only* reason this backend is ever absent).  Generated modules are
+compiled with ``cache=True`` against real on-disk source files, so the
+compilation cost is paid once per machine, not once per process —
+worker processes of the
 :class:`~repro.parallel.executor.ProcessPoolTileExecutor` load the
 on-disk artifact instead of recompiling; :meth:`NumbaBackend.warmup`
-triggers (or loads) every kernel an operator needs up front so no
-compile lands inside a timed loop.
+triggers (or loads) every kernel an operator's layout needs up front so
+no compile lands inside a timed loop.
 """
 
 from __future__ import annotations
 
 import importlib.util
+import time
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.backends.base import Backend, ChecksumMap
+from repro.backends.codegen import CompiledKernels, KernelCompiler, get_compiler
 from repro.stencil.boundary import BoundarySpec
+from repro.stencil.doublebuffer import GridLayout
+from repro.stencil.shift import interior_view, padded_shape
 from repro.stencil.spec import StencilSpec
 
 __all__ = ["NUMBA_AVAILABLE", "UNAVAILABLE_REASON", "NumbaBackend"]
@@ -62,316 +77,84 @@ __all__ = ["NUMBA_AVAILABLE", "UNAVAILABLE_REASON", "NumbaBackend"]
 #: Whether the optional ``numba`` dependency is importable in this process.
 NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
 
-#: Why the backend is absent when :data:`NUMBA_AVAILABLE` is false.
+#: Why the backend is absent when :data:`NUMBA_AVAILABLE` is false.  The
+#: import gate is the *only* availability condition: the generated
+#: kernels accept every layout, so there is no runtime decline to report.
 UNAVAILABLE_REASON = (
     "requires the optional 'numba' package (pip install numba)"
 )
 
-#: Per-spec kernel-argument cache entries kept before the cache resets.
+#: Per-spec weight-vector cache entries kept before the cache resets.
 _MAX_CACHED_SPECS = 16
 
-#: Boundary-kind codes shared between Python and the compiled kernels.
-#: ``_BC_EXTERNAL`` marks an axis whose ghost slabs are managed outside
-#: the backend (halo ingestion in the distributed runner): the compiled
-#: refresh leaves them untouched and later axes span them like interior.
-_BC_CLAMP, _BC_PERIODIC, _BC_FILL, _BC_EXTERNAL = 0, 1, 2, 3
-
-
-if NUMBA_AVAILABLE:  # pragma: no branch - gate evaluated once at import
-    from numba import njit, prange
-
-    # -- plain sweeps (ghost cells trusted as given) ------------------------
-    #
-    # ``dst`` is written at offset (drx, dry[, drz]): 0 for an
-    # interior-shaped output array, ``radius`` for a padded back buffer.
-    # Accumulation runs in the domain dtype (weights are pre-cast) in the
-    # stencil's deterministic offset order.
-
-    @njit(cache=True, parallel=True)
-    def _sweep_2d(src, dst, offs, wts, srx, sry, drx, dry, nx, ny,
-                  const, has_const):
-        k = offs.shape[0]
-        for x in prange(nx):
-            for y in range(ny):
-                acc = wts[0] * src[x + srx + offs[0, 0], y + sry + offs[0, 1]]
-                for p in range(1, k):
-                    acc += wts[p] * src[
-                        x + srx + offs[p, 0], y + sry + offs[p, 1]
-                    ]
-                if has_const:
-                    acc += const[x, y]
-                dst[x + drx, y + dry] = acc
-
-    @njit(cache=True, parallel=True)
-    def _sweep_3d(src, dst, offs, wts, srx, sry, srz, drx, dry, drz,
-                  nx, ny, nz, const, has_const):
-        k = offs.shape[0]
-        for x in prange(nx):
-            for y in range(ny):
-                for z in range(nz):
-                    acc = wts[0] * src[
-                        x + srx + offs[0, 0],
-                        y + sry + offs[0, 1],
-                        z + srz + offs[0, 2],
-                    ]
-                    for p in range(1, k):
-                        acc += wts[p] * src[
-                            x + srx + offs[p, 0],
-                            y + sry + offs[p, 1],
-                            z + srz + offs[p, 2],
-                        ]
-                    if has_const:
-                        acc += const[x, y, z]
-                    dst[x + drx, y + dry, z + drz] = acc
-
-    # -- fused sweep + per-point checksum accumulation ----------------------
-    #
-    # Every computed point is folded into its row partial and its column
-    # partial immediately after it is written — no post-hoc reduction
-    # pass over the result.  ``cs0`` (reduce over x) would race across
-    # the parallel x-loop, so each x-iteration accumulates into a
-    # thread-private partial that a parfor array reduction merges;
-    # ``cs1`` (reduce over y) is indexed by the parallel loop variable
-    # and needs no reduction.  ``cs_like`` only carries the requested
-    # checksum accumulation dtype.
-    #
-    # Both axes are accumulated even when the caller requests only one
-    # (the protector's default verifies a single axis): the marginal
-    # cost is ~1-2 accumulate ops against the k >= 5 multiply-adds per
-    # point, gating the ``cs0`` parfor *reduction* behind a runtime
-    # flag is not a construct parfors reliably supports, and eager
-    # row-checksum callers get the second vector for free.
-
-    @njit(cache=True, parallel=True)
-    def _sweep_2d_cs(src, dst, offs, wts, srx, sry, drx, dry, nx, ny,
-                     const, has_const, cs_like):
-        k = offs.shape[0]
-        cs0 = np.zeros(ny, cs_like.dtype)
-        cs1 = np.zeros(nx, cs_like.dtype)
-        for x in prange(nx):
-            row = np.zeros(ny, cs_like.dtype)
-            s = row[0]  # zero in the checksum dtype
-            for y in range(ny):
-                acc = wts[0] * src[x + srx + offs[0, 0], y + sry + offs[0, 1]]
-                for p in range(1, k):
-                    acc += wts[p] * src[
-                        x + srx + offs[p, 0], y + sry + offs[p, 1]
-                    ]
-                if has_const:
-                    acc += const[x, y]
-                dst[x + drx, y + dry] = acc
-                row[y] = acc
-                s += row[y]
-            cs1[x] = s
-            cs0 += row
-        return cs0, cs1
-
-    @njit(cache=True, parallel=True)
-    def _sweep_3d_cs(src, dst, offs, wts, srx, sry, srz, drx, dry, drz,
-                     nx, ny, nz, const, has_const, cs_like):
-        k = offs.shape[0]
-        cs0 = np.zeros((ny, nz), cs_like.dtype)
-        cs1 = np.zeros((nx, nz), cs_like.dtype)
-        for x in prange(nx):
-            part = np.zeros((ny, nz), cs_like.dtype)
-            for y in range(ny):
-                for z in range(nz):
-                    acc = wts[0] * src[
-                        x + srx + offs[0, 0],
-                        y + sry + offs[0, 1],
-                        z + srz + offs[0, 2],
-                    ]
-                    for p in range(1, k):
-                        acc += wts[p] * src[
-                            x + srx + offs[p, 0],
-                            y + sry + offs[p, 1],
-                            z + srz + offs[p, 2],
-                        ]
-                    if has_const:
-                        acc += const[x, y, z]
-                    dst[x + drx, y + dry, z + drz] = acc
-                    part[y, z] = acc
-                    cs1[x, z] += part[y, z]
-            cs0 += part
-        return cs0, cs1
-
-    # -- compiled ghost refresh ---------------------------------------------
-    #
-    # Mirrors repro.stencil.shift.refresh_ghosts exactly: axis by axis,
-    # where axis k's slabs span the already-refreshed ghost range of
-    # axes < k but only the interior range of axes > k (corners owned by
-    # the highest axis).  Pure copies/fills, so the result is
-    # bit-identical to the interpreted refresh.
-
-    @njit(cache=True)
-    def _refresh_2d(p, rx, ry, nx, ny, kinds, fills):
-        if rx > 0 and kinds[0] != 3:
-            k0 = kinds[0]
-            for j in range(ry, ry + ny):
-                for g in range(rx):
-                    if k0 == 0:
-                        p[g, j] = p[rx, j]
-                        p[rx + nx + g, j] = p[rx + nx - 1, j]
-                    elif k0 == 1:
-                        p[g, j] = p[nx + g, j]
-                        p[rx + nx + g, j] = p[rx + g, j]
-                    else:
-                        p[g, j] = fills[0]
-                        p[rx + nx + g, j] = fills[0]
-        if ry > 0 and kinds[1] != 3:
-            k1 = kinds[1]
-            for i in range(nx + 2 * rx):
-                for g in range(ry):
-                    if k1 == 0:
-                        p[i, g] = p[i, ry]
-                        p[i, ry + ny + g] = p[i, ry + ny - 1]
-                    elif k1 == 1:
-                        p[i, g] = p[i, ny + g]
-                        p[i, ry + ny + g] = p[i, ry + g]
-                    else:
-                        p[i, g] = fills[1]
-                        p[i, ry + ny + g] = fills[1]
-
-    @njit(cache=True)
-    def _refresh_3d(p, rx, ry, rz, nx, ny, nz, kinds, fills):
-        if rx > 0 and kinds[0] != 3:
-            k0 = kinds[0]
-            for j in range(ry, ry + ny):
-                for z in range(rz, rz + nz):
-                    for g in range(rx):
-                        if k0 == 0:
-                            p[g, j, z] = p[rx, j, z]
-                            p[rx + nx + g, j, z] = p[rx + nx - 1, j, z]
-                        elif k0 == 1:
-                            p[g, j, z] = p[nx + g, j, z]
-                            p[rx + nx + g, j, z] = p[rx + g, j, z]
-                        else:
-                            p[g, j, z] = fills[0]
-                            p[rx + nx + g, j, z] = fills[0]
-        if ry > 0 and kinds[1] != 3:
-            k1 = kinds[1]
-            for i in range(nx + 2 * rx):
-                for z in range(rz, rz + nz):
-                    for g in range(ry):
-                        if k1 == 0:
-                            p[i, g, z] = p[i, ry, z]
-                            p[i, ry + ny + g, z] = p[i, ry + ny - 1, z]
-                        elif k1 == 1:
-                            p[i, g, z] = p[i, ny + g, z]
-                            p[i, ry + ny + g, z] = p[i, ry + g, z]
-                        else:
-                            p[i, g, z] = fills[1]
-                            p[i, ry + ny + g, z] = fills[1]
-        if rz > 0 and kinds[2] != 3:
-            k2 = kinds[2]
-            for i in range(nx + 2 * rx):
-                for j in range(ny + 2 * ry):
-                    for g in range(rz):
-                        if k2 == 0:
-                            p[i, j, g] = p[i, j, rz]
-                            p[i, j, rz + nz + g] = p[i, j, rz + nz - 1]
-                        elif k2 == 1:
-                            p[i, j, g] = p[i, j, nz + g]
-                            p[i, j, rz + nz + g] = p[i, j, rz + g]
-                        else:
-                            p[i, j, g] = fills[2]
-                            p[i, j, rz + nz + g] = fills[2]
-
-    # -- whole protected step in one compiled call --------------------------
-
-    @njit(cache=True)
-    def _step_2d(src, dst, offs, wts, rx, ry, nx, ny, const, has_const,
-                 kinds, fills):
-        _refresh_2d(src, rx, ry, nx, ny, kinds, fills)
-        _sweep_2d(src, dst, offs, wts, rx, ry, rx, ry, nx, ny,
-                  const, has_const)
-
-    @njit(cache=True)
-    def _step_2d_cs(src, dst, offs, wts, rx, ry, nx, ny, const, has_const,
-                    cs_like, kinds, fills):
-        _refresh_2d(src, rx, ry, nx, ny, kinds, fills)
-        return _sweep_2d_cs(src, dst, offs, wts, rx, ry, rx, ry, nx, ny,
-                            const, has_const, cs_like)
-
-    @njit(cache=True)
-    def _step_3d(src, dst, offs, wts, rx, ry, rz, nx, ny, nz, const,
-                 has_const, kinds, fills):
-        _refresh_3d(src, rx, ry, rz, nx, ny, nz, kinds, fills)
-        _sweep_3d(src, dst, offs, wts, rx, ry, rz, rx, ry, rz, nx, ny, nz,
-                  const, has_const)
-
-    @njit(cache=True)
-    def _step_3d_cs(src, dst, offs, wts, rx, ry, rz, nx, ny, nz, const,
-                    has_const, cs_like, kinds, fills):
-        _refresh_3d(src, rx, ry, rz, nx, ny, nz, kinds, fills)
-        return _sweep_3d_cs(src, dst, offs, wts, rx, ry, rz, rx, ry, rz,
-                            nx, ny, nz, const, has_const, cs_like)
+#: Staging-buffer cache entries (aliasing pairs) kept before resetting.
+_MAX_CACHED_STAGING = 8
 
 
 class NumbaBackend(Backend):
-    """JIT backend: compiled per-point fusion of refresh + sweep + checksums."""
+    """JIT backend: generated per-point fusion of refresh + sweep + checksums.
+
+    Parameters
+    ----------
+    compiler:
+        The :class:`~repro.backends.codegen.KernelCompiler` to obtain
+        kernels from.  ``None`` (the default) uses the process-wide
+        compiler and requires ``numba`` to be importable; tests inject a
+        private ``jit=False`` compiler to execute the generated source
+        as plain Python on machines without the dependency.
+    """
 
     name = "numba"
+    compiles_kernels = True
 
-    def __init__(self) -> None:
-        if not NUMBA_AVAILABLE:
+    def __init__(self, compiler: Optional[KernelCompiler] = None) -> None:
+        if compiler is None and not NUMBA_AVAILABLE:
             raise RuntimeError(f"the numba backend {UNAVAILABLE_REASON}")
+        self._compiler = compiler if compiler is not None else get_compiler()
         self._spec_cache: Dict = {}
+        self._staging: Dict = {}
 
-    # -- kernel-argument marshalling ----------------------------------------
-    def _spec_arrays(
-        self, spec: StencilSpec, dtype: np.dtype
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Contiguous ``(offsets, weights)`` with weights in the domain dtype.
+    # -- kernel / argument marshalling ---------------------------------------
+    def _kernels(
+        self,
+        spec: StencilSpec,
+        constant: Optional[np.ndarray],
+        layout: Optional[GridLayout] = None,
+    ) -> CompiledKernels:
+        return self._compiler.kernels_for(
+            spec, has_const=constant is not None, layout=layout
+        )
 
-        Pre-casting the weights keeps the compiled accumulation in the
-        domain dtype (numba would otherwise promote float32*float64 to
-        float64, changing the rounding relative to the reference).
+    def _weights_arg(self, spec: StencilSpec, dtype: np.dtype) -> np.ndarray:
+        """The spec's weight vector pre-cast to the domain dtype.
+
+        Pre-casting keeps the compiled accumulation in the domain dtype
+        (numba would otherwise promote float32*float64 to float64,
+        changing the rounding relative to the reference).
         """
         key = (spec, np.dtype(dtype).str)
         cached = self._spec_cache.get(key)
         if cached is None:
             if len(self._spec_cache) >= _MAX_CACHED_SPECS:
                 self._spec_cache.clear()
-            offs = np.ascontiguousarray(spec.offsets, dtype=np.int64)
-            wts = np.ascontiguousarray(spec.weights, dtype=dtype)
-            cached = self._spec_cache[key] = (offs, wts)
+            cached = self._spec_cache[key] = np.ascontiguousarray(
+                spec.weights, dtype=dtype
+            )
         return cached
 
     @staticmethod
     def _const_arg(
         constant: Optional[np.ndarray], dtype: np.dtype, ndim: int
-    ) -> Tuple[np.ndarray, bool]:
-        """``(array, has_const)`` — a dummy keeps the kernel signature stable."""
+    ) -> np.ndarray:
+        """The constant-term argument (a dummy keeps signatures stable)."""
         if constant is None:
-            return np.zeros((1,) * ndim, dtype=dtype), False
-        return np.asarray(constant, dtype=dtype), True
+            return np.zeros((1,) * ndim, dtype=dtype)
+        return np.asarray(constant, dtype=dtype)
 
     @staticmethod
-    def _boundary_arrays(
-        bspec: BoundarySpec,
-        refresh_axes: Optional[Sequence[int]] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-axis ``(kind codes, fill values)`` for the compiled refresh.
-
-        Axes outside ``refresh_axes`` (``None`` → all) are marked
-        ``_BC_EXTERNAL``: the compiled refresh skips their slabs — the
-        distributed runner has already ingested halo data there.
-        """
-        keep = None if refresh_axes is None else {int(a) for a in refresh_axes}
-        kinds = np.empty(bspec.ndim, dtype=np.int64)
-        fills = np.zeros(bspec.ndim, dtype=np.float64)
-        for axis, bc in enumerate(bspec):
-            if keep is not None and axis not in keep:
-                kinds[axis] = _BC_EXTERNAL
-            elif bc.is_clamp:
-                kinds[axis] = _BC_CLAMP
-            elif bc.is_periodic:
-                kinds[axis] = _BC_PERIODIC
-            else:
-                kinds[axis] = _BC_FILL
-                fills[axis] = bc.fill_value()
-        return kinds, fills
+    def _fills_arg(layout: GridLayout) -> np.ndarray:
+        """Per-axis ghost fill values for the generated refresh."""
+        return np.asarray(layout.fills, dtype=np.float64)
 
     @staticmethod
     def _checksum_like(checksum_dtype, dtype: np.dtype) -> np.ndarray:
@@ -394,6 +177,16 @@ class NumbaBackend(Backend):
             out[axis] = both[axis]
         return out
 
+    def _staging_buffer(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Cached padded-shape scratch for aliasing ``step_into`` pairs."""
+        key = (tuple(int(n) for n in shape), np.dtype(dtype).str)
+        buf = self._staging.get(key)
+        if buf is None:
+            if len(self._staging) >= _MAX_CACHED_STAGING:
+                self._staging.clear()
+            buf = self._staging[key] = np.empty(key[0], dtype=dtype)
+        return buf
+
     # -- sweeps over trusted ghosts -----------------------------------------
     def sweep_padded(
         self,
@@ -410,19 +203,13 @@ class NumbaBackend(Backend):
         dtype = padded.dtype
         if out is None:
             out = np.empty(interior_shape, dtype=dtype)
-        offs, wts = self._spec_arrays(spec, dtype)
-        const, has_const = self._const_arg(constant, dtype, padded.ndim)
-        if padded.ndim == 2:
-            _sweep_2d(
-                padded, out, offs, wts, radius[0], radius[1], 0, 0,
-                interior_shape[0], interior_shape[1], const, has_const,
-            )
-        else:
-            _sweep_3d(
-                padded, out, offs, wts, radius[0], radius[1], radius[2],
-                0, 0, 0, interior_shape[0], interior_shape[1],
-                interior_shape[2], const, has_const,
-            )
+        kernels = self._kernels(spec, constant)
+        wts = self._weights_arg(spec, dtype)
+        const = self._const_arg(constant, dtype, padded.ndim)
+        kernels.sweep(
+            padded, out, wts, *radius, *(0,) * padded.ndim,
+            *interior_shape, const,
+        )
         return out
 
     def sweep_with_checksums(
@@ -442,21 +229,14 @@ class NumbaBackend(Backend):
         dtype = padded.dtype
         if out is None:
             out = np.empty(interior_shape, dtype=dtype)
-        offs, wts = self._spec_arrays(spec, dtype)
-        const, has_const = self._const_arg(constant, dtype, padded.ndim)
+        kernels = self._kernels(spec, constant)
+        wts = self._weights_arg(spec, dtype)
+        const = self._const_arg(constant, dtype, padded.ndim)
         cs_like = self._checksum_like(checksum_dtype, dtype)
-        if padded.ndim == 2:
-            cs0, cs1 = _sweep_2d_cs(
-                padded, out, offs, wts, radius[0], radius[1], 0, 0,
-                interior_shape[0], interior_shape[1], const, has_const,
-                cs_like,
-            )
-        else:
-            cs0, cs1 = _sweep_3d_cs(
-                padded, out, offs, wts, radius[0], radius[1], radius[2],
-                0, 0, 0, interior_shape[0], interior_shape[1],
-                interior_shape[2], const, has_const, cs_like,
-            )
+        cs0, cs1 = kernels.sweep_cs(
+            padded, out, wts, *radius, *(0,) * padded.ndim,
+            *interior_shape, const, cs_like,
+        )
         return out, self._select_axes(cs0, cs1, axes)
 
     # -- zero-copy forms -----------------------------------------------------
@@ -472,11 +252,12 @@ class NumbaBackend(Backend):
         interior = self._dst_interior(dst_padded, radius, interior_shape)
         if np.may_share_memory(src_padded, dst_padded):
             # Writing the interior while the sweep still reads the source
-            # would corrupt the result; take the copy-based route.
-            return super().sweep_into(
-                src_padded, dst_padded, spec, radius, interior_shape,
-                constant=constant,
+            # would corrupt the result; run the compiled sweep into a
+            # fresh buffer and copy it over afterwards.
+            interior[...] = self.sweep_padded(
+                src_padded, spec, radius, interior_shape, constant=constant
             )
+            return interior
         return self.sweep_padded(
             src_padded, spec, radius, interior_shape, constant=constant,
             out=interior,
@@ -495,10 +276,12 @@ class NumbaBackend(Backend):
     ) -> Tuple[np.ndarray, ChecksumMap]:
         interior = self._dst_interior(dst_padded, radius, interior_shape)
         if np.may_share_memory(src_padded, dst_padded):
-            return super().sweep_into_with_checksums(
-                src_padded, dst_padded, spec, radius, interior_shape, axes,
+            new, checksums = self.sweep_with_checksums(
+                src_padded, spec, radius, interior_shape, axes,
                 constant=constant, checksum_dtype=checksum_dtype,
             )
+            interior[...] = new
+            return interior, checksums
         return self.sweep_with_checksums(
             src_padded, spec, radius, interior_shape, axes,
             constant=constant, out=interior, checksum_dtype=checksum_dtype,
@@ -508,65 +291,40 @@ class NumbaBackend(Backend):
     def supports_fused_step(
         self, spec: StencilSpec, boundary, radius, interior_shape: Sequence[int]
     ) -> bool:
-        """True unless a periodic halo is wider than the interior.
+        """True for every layout: the halo plan compiles them all.
 
-        The in-place compiled refresh needs disjoint wrap source/ghost
-        ranges (the same condition the interpreted ``refresh_ghosts``
-        special-cases); the degenerate configuration falls back to the
-        base refresh-then-sweep step.
+        Degenerate periodic halos lower to the modular-tiling index
+        mapping, external axes to full-extent spans, and aliasing pairs
+        stage through a scratch buffer — none of the former decline
+        conditions exist anymore.
         """
-        from repro.stencil.shift import normalize_radius
+        return spec.ndim == len(tuple(interior_shape))
 
-        interior_shape = tuple(int(n) for n in interior_shape)
-        if spec.ndim != len(interior_shape) or spec.ndim not in (2, 3):
-            return False
-        radius = normalize_radius(radius, spec.ndim)
-        bspec = BoundarySpec.from_any(boundary, spec.ndim)
-        return not any(
-            bc.is_periodic and r > n
-            for bc, r, n in zip(bspec, radius, interior_shape)
-        )
-
-    def _fused_step_args(
+    def _step_args(
         self, src_padded, dst_padded, spec, radius, interior_shape, boundary,
-        constant, refresh_axes=None,
+        constant, refresh_axes,
     ):
-        """Marshalled kernel arguments, or ``None`` when the fast path
-        cannot run (degenerate periodic halo, aliasing pair, a source
-        whose shape does not match ``interior + 2*radius`` exactly, or a
-        partial refresh whose external axes do not all precede the
-        refreshed ones)."""
-        from repro.stencil.shift import padded_shape
-
+        """Marshalled arguments for the generated ``step`` kernels."""
         bspec = BoundarySpec.from_any(boundary, spec.ndim)
-        if refresh_axes is not None:
-            # The compiled refresh fills axis k's slabs over the *interior*
-            # range of axes > k; the interpreted partial refresh treats an
-            # external axis as zero-radius (full extent).  The two agree
-            # only when every externally managed axis comes before every
-            # refreshed axis — the distributed layout (external axis 0).
-            keep = {int(a) for a in refresh_axes}
-            external = [a for a in range(spec.ndim) if a not in keep]
-            if external and keep and max(external) > min(keep):
-                return None
-        if not self.supports_fused_step(spec, bspec, radius, interior_shape):
-            return None
         interior_shape, radius = self._normalize_sweep_args(
             src_padded, radius, interior_shape, constant, None
         )
-        if src_padded.shape != padded_shape(interior_shape, radius):
-            return None
-        if np.may_share_memory(src_padded, dst_padded):
-            return None
+        expected = padded_shape(interior_shape, radius)
+        if src_padded.shape != expected:
+            raise ValueError(
+                f"src_padded has shape {src_padded.shape}, expected "
+                f"{expected} (interior {interior_shape}, radius {radius})"
+            )
         interior = self._dst_interior(dst_padded, radius, interior_shape)
-        dtype = src_padded.dtype
-        offs, wts = self._spec_arrays(spec, dtype)
-        const, has_const = self._const_arg(constant, dtype, src_padded.ndim)
-        kinds, fills = self._boundary_arrays(bspec, refresh_axes)
-        return (
-            interior_shape, radius, interior, offs, wts, const, has_const,
-            kinds, fills,
+        layout = GridLayout.from_args(
+            radius, bspec, spec.ndim, refresh_axes=refresh_axes
         )
+        kernels = self._kernels(spec, constant, layout=layout)
+        dtype = src_padded.dtype
+        wts = self._weights_arg(spec, dtype)
+        const = self._const_arg(constant, dtype, src_padded.ndim)
+        fills = self._fills_arg(layout)
+        return interior_shape, radius, interior, kernels, wts, const, fills
 
     def step_into(
         self,
@@ -579,27 +337,19 @@ class NumbaBackend(Backend):
         constant: Optional[np.ndarray] = None,
         refresh_axes: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
-        args = self._fused_step_args(
+        shape, radius, interior, kernels, wts, const, fills = self._step_args(
             src_padded, dst_padded, spec, radius, interior_shape, boundary,
             constant, refresh_axes,
         )
-        if args is None:
-            return super().step_into(
-                src_padded, dst_padded, spec, radius, interior_shape,
-                boundary, constant=constant, refresh_axes=refresh_axes,
-            )
-        shape, radius, interior, offs, wts, const, has_const, kinds, fills = args
-        if src_padded.ndim == 2:
-            _step_2d(
-                src_padded, dst_padded, offs, wts, radius[0], radius[1],
-                shape[0], shape[1], const, has_const, kinds, fills,
-            )
-        else:
-            _step_3d(
-                src_padded, dst_padded, offs, wts, radius[0], radius[1],
-                radius[2], shape[0], shape[1], shape[2], const, has_const,
-                kinds, fills,
-            )
+        if np.may_share_memory(src_padded, dst_padded):
+            # Aliasing pair: run the compiled step against a staging
+            # destination, then copy the interior over (the refresh part
+            # is in-place on the source either way).
+            stage = self._staging_buffer(src_padded.shape, src_padded.dtype)
+            kernels.step(src_padded, stage, wts, *shape, const, fills)
+            interior[...] = interior_view(stage, radius)
+            return interior
+        kernels.step(src_padded, dst_padded, wts, *shape, const, fills)
         return interior
 
     def step_into_with_checksums(
@@ -615,30 +365,32 @@ class NumbaBackend(Backend):
         checksum_dtype: Optional[np.dtype] = None,
         refresh_axes: Optional[Sequence[int]] = None,
     ) -> Tuple[np.ndarray, ChecksumMap]:
-        args = self._fused_step_args(
+        shape, radius, interior, kernels, wts, const, fills = self._step_args(
             src_padded, dst_padded, spec, radius, interior_shape, boundary,
             constant, refresh_axes,
         )
-        if args is None:
-            return super().step_into_with_checksums(
-                src_padded, dst_padded, spec, radius, interior_shape,
-                boundary, axes, constant=constant,
-                checksum_dtype=checksum_dtype, refresh_axes=refresh_axes,
-            )
-        shape, radius, interior, offs, wts, const, has_const, kinds, fills = args
         cs_like = self._checksum_like(checksum_dtype, src_padded.dtype)
-        if src_padded.ndim == 2:
-            cs0, cs1 = _step_2d_cs(
-                src_padded, dst_padded, offs, wts, radius[0], radius[1],
-                shape[0], shape[1], const, has_const, cs_like, kinds, fills,
+        if np.may_share_memory(src_padded, dst_padded):
+            stage = self._staging_buffer(src_padded.shape, src_padded.dtype)
+            cs0, cs1 = kernels.step_cs(
+                src_padded, stage, wts, *shape, const, fills, cs_like
             )
-        else:
-            cs0, cs1 = _step_3d_cs(
-                src_padded, dst_padded, offs, wts, radius[0], radius[1],
-                radius[2], shape[0], shape[1], shape[2], const, has_const,
-                cs_like, kinds, fills,
-            )
+            interior[...] = interior_view(stage, radius)
+            return interior, self._select_axes(cs0, cs1, axes)
+        cs0, cs1 = kernels.step_cs(
+            src_padded, dst_padded, wts, *shape, const, fills, cs_like
+        )
         return interior, self._select_axes(cs0, cs1, axes)
+
+    # -- compiled-kernel introspection ----------------------------------------
+    @property
+    def compiler(self) -> KernelCompiler:
+        """The kernel compiler this backend draws from."""
+        return self._compiler
+
+    def compiled_kernels(self) -> Tuple[Dict, ...]:
+        """Stats for every kernel this backend's compiler has built."""
+        return self._compiler.stats()
 
     # -- warmup ---------------------------------------------------------------
     def warmup(
@@ -647,41 +399,88 @@ class NumbaBackend(Backend):
         boundary=None,
         dtype=np.float32,
         checksum_dtype=np.float64,
+        radius=None,
+        external_axes: Sequence[int] = (),
     ) -> None:
-        """Compile (or load from the on-disk cache) every kernel for ``spec``.
+        """Generate + compile (or load from disk) the layout's kernels.
 
         Runs each primitive once on a ghost-width-scaled toy domain, so
-        the one-off JIT cost is paid here rather than inside a benchmark
-        loop or a worker's first tile.  Numba specializes per array
-        *layout* as well as dtype, so every primitive is exercised twice:
-        on contiguous arrays (the whole-grid pipeline) and on strided
-        views (the tile executors sweep ``padded_tile_view`` slices of
-        the global pair into strided interior slices).  Thanks to
-        ``cache=True`` the compiled artifacts persist on disk:
-        process-pool workers (and later runs) load them instead of
-        recompiling.
+        the one-off codegen + JIT cost is paid here rather than inside a
+        benchmark loop or a worker's first tile.  ``radius`` and
+        ``external_axes`` describe the buffer layout to specialize for
+        (defaults: the stencil's own radius, no external axes) — the
+        runners pass their grids' layouts so the exact step kernels are
+        ready.  Numba specializes per array *layout* as well as dtype,
+        so the sweeps are also exercised on strided views (the tile
+        executors sweep ``padded_tile_view`` slices of the global pair
+        into strided interior slices).  Thanks to ``cache=True`` the
+        compiled artifacts persist on disk: process-pool workers (and
+        later runs) load them instead of recompiling.  First-call
+        compile time is attributed to each kernel's cache entry
+        (``repro backends --kernels``).
         """
         from repro.stencil.boundary import BoundaryCondition
-        from repro.stencil.shift import pad_array, padded_shape
+        from repro.stencil.shift import normalize_radius, pad_array
 
-        radius = spec.radius()
-        shape = tuple(2 * r + 3 for r in radius)
         dtype = np.dtype(dtype)
+        radius = (
+            spec.radius()
+            if radius is None
+            else normalize_radius(radius, spec.ndim)
+        )
         if boundary is None:
             boundary = BoundaryCondition.clamp()
         bspec = BoundarySpec.from_any(boundary, spec.ndim)
+        external = tuple(sorted({int(a) for a in external_axes}))
+        refresh_axes = (
+            tuple(a for a in range(spec.ndim) if a not in external)
+            if external
+            else None
+        )
+        layout = GridLayout.from_args(
+            radius, bspec, spec.ndim, refresh_axes=refresh_axes
+        )
+        shape = tuple(2 * r + 3 for r in radius)
         u = np.arange(int(np.prod(shape)), dtype=dtype).reshape(shape)
+        # pad_array also fills external-axis slabs, standing in for the
+        # halo data a distributed rank would have ingested before a step.
         padded = pad_array(u, radius, bspec)
-        self.sweep_padded(padded, spec, radius, shape)
-        self.sweep_with_checksums(
+        const = np.zeros(shape, dtype=dtype)
+
+        def timed(entry: CompiledKernels, call) -> None:
+            t0 = time.perf_counter()
+            call()
+            self._compiler.record_warmup(
+                entry, (time.perf_counter() - t0) * 1e3
+            )
+
+        sweep_entry = self._kernels(spec, None)
+        timed(sweep_entry, lambda: self.sweep_padded(
+            padded, spec, radius, shape
+        ))
+        timed(sweep_entry, lambda: self.sweep_with_checksums(
             padded, spec, radius, shape, (0, 1), checksum_dtype=checksum_dtype
-        )
-        dst = np.zeros(padded_shape(shape, radius), dtype=dtype)
-        self.step_into(padded, dst, spec, radius, shape, bspec)
-        self.step_into_with_checksums(
-            padded, dst, spec, radius, shape, bspec, (0, 1),
-            checksum_dtype=checksum_dtype,
-        )
+        ))
+        step_entry = self._kernels(spec, None, layout=layout)
+        dst = np.zeros(padded.shape, dtype=dtype)
+        timed(step_entry, lambda: self.step_into(
+            padded.copy(), dst, spec, radius, shape, bspec,
+            refresh_axes=refresh_axes,
+        ))
+        timed(step_entry, lambda: self.step_into_with_checksums(
+            padded.copy(), dst, spec, radius, shape, bspec, (0, 1),
+            checksum_dtype=checksum_dtype, refresh_axes=refresh_axes,
+        ))
+        step_const_entry = self._kernels(spec, const, layout=layout)
+        timed(step_const_entry, lambda: self.step_into(
+            padded.copy(), dst, spec, radius, shape, bspec, constant=const,
+            refresh_axes=refresh_axes,
+        ))
+        timed(step_const_entry, lambda: self.step_into_with_checksums(
+            padded.copy(), dst, spec, radius, shape, bspec, (0, 1),
+            constant=const, checksum_dtype=checksum_dtype,
+            refresh_axes=refresh_axes,
+        ))
         # Strided ('A'-layout) specializations: a halo-extended view of a
         # larger padded array swept into a strided output slice, plus a
         # strided constant — the exact signatures the tile executors use.
@@ -697,10 +496,11 @@ class NumbaBackend(Backend):
         out_store = np.zeros(tuple(n + 1 for n in shape), dtype=dtype)
         out_view = out_store[tuple(slice(0, n) for n in shape)]
         const_view = big[tuple(slice(0, n) for n in shape)]
-        self.sweep_padded(
+        sweep_const_entry = self._kernels(spec, const_view)
+        timed(sweep_const_entry, lambda: self.sweep_padded(
             ptile, spec, radius, shape, constant=const_view, out=out_view
-        )
-        self.sweep_with_checksums(
+        ))
+        timed(sweep_const_entry, lambda: self.sweep_with_checksums(
             ptile, spec, radius, shape, (0, 1), constant=const_view,
             out=out_view, checksum_dtype=checksum_dtype,
-        )
+        ))

@@ -140,10 +140,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(runs/second on the campaign engine) per tile",
     )
 
-    subparsers.add_parser(
+    backends_cmd = subparsers.add_parser(
         "backends",
         help="list compute backends, including optional ones that are "
         "unavailable in this environment (e.g. numba without the package)",
+    )
+    backends_cmd.add_argument(
+        "--kernels",
+        action="store_true",
+        help="also list the compiled-kernel cache of every compiling "
+        "backend (spec/layout signature, codegen + warmup time, hits)",
     )
     subparsers.add_parser(
         "executors", help="list the available tile executors"
@@ -350,12 +356,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "backends":
         default = default_backend_name()
+        seen = []
         for name in available_backends():
             backend = get_backend(name)
             marker = " (default)" if name == default else ""
             print(f"{name:12s} -> {type(backend).__name__}{marker}")
+            if backend not in seen:
+                seen.append(backend)
         for name, reason in unavailable_backends().items():
             print(f"{name:12s} -> unavailable ({reason})")
+        if getattr(args, "kernels", False):
+            compiling = [b for b in seen if b.compiles_kernels]
+            if not compiling:
+                print("\nno compiling backends registered")
+            for backend in compiling:
+                entries = backend.compiled_kernels()
+                print(
+                    f"\n{backend.name}: {len(entries)} compiled kernel "
+                    f"module{'s' if len(entries) != 1 else ''}"
+                )
+                for e in entries:
+                    cached = "disk" if e["from_disk"] else "fresh"
+                    print(
+                        f"  {e['digest']}  {e['kind']:5s} {cached:5s} "
+                        f"codegen {e['codegen_ms']:.2f} ms  "
+                        f"warmup {e['warmup_ms']:.2f} ms  "
+                        f"hits {e['hits']}  misses {e['misses']}"
+                    )
+                    print(f"    spec   {e['spec']}")
+                    if e["layout"]:
+                        print(f"    layout {e['layout']}")
         return 0
 
     if args.command == "distributed":

@@ -124,7 +124,9 @@ class TiledStencilRunner:
         # cached artifacts instead of recompiling) pay the JIT cost
         # mid-run.
         warm_backend = self.backend if self.backend is not None else grid.backend
-        warm_backend.warmup(grid.spec, grid.boundary, grid.dtype)
+        warm_backend.warmup(
+            grid.spec, grid.boundary, grid.dtype, radius=self.radius
+        )
 
     # -- constructors ------------------------------------------------------------
     @classmethod

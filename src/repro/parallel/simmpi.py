@@ -14,7 +14,8 @@ deterministic stand-in:
   tracked globally and per tag for the weak-scaling benchmark.
 * :class:`SimRank` — one rank's state: a persistent padded
   :class:`~repro.stencil.doublebuffer.DoubleBufferedGrid` pair holding
-  its contiguous block of the domain (split along axis 0), its
+  its contiguous block of the domain (split along the chosen
+  decomposition axis), its
   constant-term block and its own
   :class:`~repro.core.online.OnlineABFT` protector.
 * :class:`DistributedStencilRunner` — drives all ranks in lock-step
@@ -57,7 +58,9 @@ from repro.stencil.spec import StencilSpec
 
 __all__ = ["SimChannel", "SimRank", "DistributedStencilRunner"]
 
-#: Axis along which the domain is distributed across ranks.
+#: Default axis along which the domain is distributed across ranks.
+#: :class:`DistributedStencilRunner` accepts any axis via ``axis=`` —
+#: every decomposition axis runs the same compiled fused step.
 DISTRIBUTED_AXIS = 0
 
 
@@ -138,9 +141,11 @@ class SimRank:
         global_offset: int,
         radius,
         boundary: BoundarySpec,
+        axis: int = DISTRIBUTED_AXIS,
     ) -> None:
         self.rank = int(rank)
-        external = (DISTRIBUTED_AXIS,) if radius[DISTRIBUTED_AXIS] > 0 else ()
+        self.axis = int(axis)
+        external = (self.axis,) if radius[self.axis] > 0 else ()
         self.buffers = DoubleBufferedGrid(
             block, radius, boundary, external_axes=external
         )
@@ -176,12 +181,16 @@ class DistributedStencilRunner:
         across the ranks at construction time.
     n_ranks:
         Number of simulated ranks; the domain is block-distributed along
-        axis 0.
+        ``axis``.
     protect:
         Protect every rank's block with its own OnlineABFT instance.
     backend:
         Compute backend driving every rank's fused step (registry name
         or instance; ``None`` follows the process default).
+    axis:
+        Decomposition axis (default 0).  Any axis works — including the
+        orderings where the external axis follows refreshed axes, which
+        the compiled backend handles like any other layout.
     abft_kwargs:
         Extra keyword arguments for each rank's protector.
 
@@ -204,10 +213,16 @@ class DistributedStencilRunner:
         n_ranks: int = 4,
         protect: bool = True,
         backend: BackendLike = None,
+        axis: int = DISTRIBUTED_AXIS,
         **abft_kwargs,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
+        if not 0 <= int(axis) < grid.ndim:
+            raise ValueError(
+                f"axis {axis} out of range for a {grid.ndim}-d grid"
+            )
+        self.axis = int(axis)
         self.spec: StencilSpec = grid.spec
         self.boundary: BoundarySpec = grid.boundary
         self.radius = grid.spec.radius()
@@ -218,12 +233,12 @@ class DistributedStencilRunner:
         self.n_ranks = int(n_ranks)
         self.backend_spec = backend
 
-        axis_bc = self.boundary.axis(DISTRIBUTED_AXIS)
-        bounds = partition_extent(grid.shape[DISTRIBUTED_AXIS], self.n_ranks)
+        axis_bc = self.boundary.axis(self.axis)
+        bounds = partition_extent(grid.shape[self.axis], self.n_ranks)
         self.ranks: List[SimRank] = []
         for r, (start, stop) in enumerate(bounds):
             sl = [slice(None)] * grid.ndim
-            sl[DISTRIBUTED_AXIS] = slice(start, stop)
+            sl[self.axis] = slice(start, stop)
             block = np.array(grid.u[tuple(sl)], copy=True)
             const = None
             if grid.constant is not None:
@@ -256,8 +271,21 @@ class DistributedStencilRunner:
                     global_offset=start,
                     radius=self.radius,
                     boundary=self.boundary,
+                    axis=self.axis,
                 )
             )
+        # Layout-aware warmup: compile (or load from the on-disk cache)
+        # the exact step kernels the ranks will run — the distributed
+        # axis is external (halo ingested from neighbours), every other
+        # axis refreshes from the boundary condition.
+        external = (self.axis,) if self.radius[self.axis] > 0 else ()
+        self.backend.warmup(
+            self.spec,
+            boundary=self.boundary,
+            dtype=self.dtype,
+            radius=self.radius,
+            external_axes=external,
+        )
 
     @property
     def backend(self):
@@ -266,16 +294,16 @@ class DistributedStencilRunner:
 
     # -- halo exchange -------------------------------------------------------------
     def _post_halos(self) -> None:
-        width = self.radius[DISTRIBUTED_AXIS]
+        width = self.radius[self.axis]
         if width == 0:
             return
         for rank in self.ranks:
             interior = rank.interior
             if rank.lo_neighbor is not None:
-                strip = boundary_strip(interior, DISTRIBUTED_AXIS, "low", width)
+                strip = boundary_strip(interior, self.axis, "low", width)
                 self.channel.send(rank.rank, rank.lo_neighbor, "to_hi", strip)
             if rank.hi_neighbor is not None:
-                strip = boundary_strip(interior, DISTRIBUTED_AXIS, "high", width)
+                strip = boundary_strip(interior, self.axis, "high", width)
                 self.channel.send(rank.rank, rank.hi_neighbor, "to_lo", strip)
 
     def _ingest_halos(self, rank: SimRank) -> None:
@@ -289,24 +317,24 @@ class DistributedStencilRunner:
         during the step, matching the serial ``pad_array`` order
         bit for bit.
         """
-        width = self.radius[DISTRIBUTED_AXIS]
+        width = self.radius[self.axis]
         if width == 0:
             return
         front = rank.buffers.front
-        axis_bc = self.boundary.axis(DISTRIBUTED_AXIS)
+        axis_bc = self.boundary.axis(self.axis)
         if rank.lo_neighbor is not None:
             payload = self.channel.recv(rank.lo_neighbor, rank.rank, "to_lo")
-            ingest_halo(front, self.radius, DISTRIBUTED_AXIS, "low", payload)
+            ingest_halo(front, self.radius, self.axis, "low", payload)
         else:
             synthesize_ghost_into(
-                front, self.radius, DISTRIBUTED_AXIS, "low", axis_bc
+                front, self.radius, self.axis, "low", axis_bc
             )
         if rank.hi_neighbor is not None:
             payload = self.channel.recv(rank.hi_neighbor, rank.rank, "to_hi")
-            ingest_halo(front, self.radius, DISTRIBUTED_AXIS, "high", payload)
+            ingest_halo(front, self.radius, self.axis, "high", payload)
         else:
             synthesize_ghost_into(
-                front, self.radius, DISTRIBUTED_AXIS, "high", axis_bc
+                front, self.radius, self.axis, "high", axis_bc
             )
 
     # -- stepping --------------------------------------------------------------------
@@ -371,7 +399,7 @@ class DistributedStencilRunner:
     def gather(self) -> np.ndarray:
         """Assemble the global domain from all rank blocks."""
         return np.concatenate(
-            [rank.interior for rank in self.ranks], axis=DISTRIBUTED_AXIS
+            [rank.interior for rank in self.ranks], axis=self.axis
         )
 
     def total_detected(self) -> int:
@@ -387,11 +415,11 @@ class DistributedStencilRunner:
     def rank_of_global_index(self, index) -> Tuple[int, Tuple[int, ...]]:
         """Map a global domain index to ``(rank, local index)``."""
         index = tuple(int(i) for i in index)
-        pos = index[DISTRIBUTED_AXIS]
+        pos = index[self.axis]
         for rank in self.ranks:
-            size = rank.shape[DISTRIBUTED_AXIS]
+            size = rank.shape[self.axis]
             if rank.global_offset <= pos < rank.global_offset + size:
                 local = list(index)
-                local[DISTRIBUTED_AXIS] = pos - rank.global_offset
+                local[self.axis] = pos - rank.global_offset
                 return rank.rank, tuple(local)
         raise ValueError(f"index {index} outside the global domain")

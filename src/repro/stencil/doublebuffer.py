@@ -32,6 +32,7 @@ halo pipeline crosses process boundaries without copying the domain.
 from __future__ import annotations
 
 import weakref
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,7 +45,85 @@ from repro.stencil.shift import (
     refresh_ghosts,
 )
 
-__all__ = ["DoubleBufferedGrid"]
+__all__ = ["GridLayout", "DoubleBufferedGrid"]
+
+
+@dataclass(frozen=True)
+class GridLayout:
+    """Structural description of a padded buffer's ghost layout.
+
+    This is the layout half of a kernel specialization: per-axis ghost
+    width, per-axis boundary *kind* and which axes are externally
+    managed (their slabs are filled by halo ingestion, never by the
+    refresh).  Fill *values* for constant/zero boundaries are runtime
+    kernel arguments, not part of the layout — layouts differing only
+    in the fill value share one compiled kernel.
+
+    Parameters
+    ----------
+    radius:
+        Per-axis ghost width of the padded buffers.
+    kinds:
+        Per-axis boundary kind: ``"clamp"``, ``"periodic"``, ``"fill"``
+        (covers both ``constant`` and ``zero``) or ``"external"``.
+    fills:
+        Per-axis ghost fill values (0.0 for non-``fill`` axes).
+    """
+
+    radius: Tuple[int, ...]
+    kinds: Tuple[str, ...]
+    fills: Tuple[float, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.radius)
+
+    @property
+    def external_axes(self) -> Tuple[int, ...]:
+        return tuple(
+            a for a, kind in enumerate(self.kinds) if kind == "external"
+        )
+
+    @classmethod
+    def from_args(
+        cls,
+        radius,
+        boundary: BoundarySpec | BoundaryCondition | Sequence[BoundaryCondition],
+        ndim: int,
+        refresh_axes: Optional[Sequence[int]] = None,
+    ) -> "GridLayout":
+        """Build a layout from ``step_into``-style arguments.
+
+        Axes outside ``refresh_axes`` (``None`` → all axes refresh) are
+        marked ``"external"`` regardless of their boundary condition,
+        mirroring :func:`repro.stencil.shift.refresh_ghosts`.
+        """
+        radius = normalize_radius(radius, ndim)
+        bspec = BoundarySpec.from_any(boundary, ndim)
+        keep = None if refresh_axes is None else {int(a) for a in refresh_axes}
+        kinds = []
+        fills = []
+        for axis, bc in enumerate(bspec):
+            if keep is not None and axis not in keep:
+                kinds.append("external")
+                fills.append(0.0)
+            elif bc.is_clamp:
+                kinds.append("clamp")
+                fills.append(0.0)
+            elif bc.is_periodic:
+                kinds.append("periodic")
+                fills.append(0.0)
+            else:
+                kinds.append("fill")
+                fills.append(float(bc.fill_value()))
+        return cls(tuple(radius), tuple(kinds), tuple(fills))
+
+    def signature(self) -> str:
+        """Canonical structural identity (fill values excluded)."""
+        axes = ";".join(
+            f"{r}:{kind}" for r, kind in zip(self.radius, self.kinds)
+        )
+        return f"layout{self.ndim}d[{axes}]"
 
 
 def _release_shared(blocks) -> None:
@@ -150,6 +229,16 @@ class DoubleBufferedGrid:
     def nbytes(self) -> int:
         """Total footprint of the pair in bytes."""
         return int(self._front.nbytes + self._back.nbytes)
+
+    @property
+    def layout(self) -> GridLayout:
+        """The pair's :class:`GridLayout` (the kernel-compiler cache key)."""
+        return GridLayout.from_args(
+            self.radius,
+            self.boundary,
+            len(self.interior_shape),
+            refresh_axes=self.refresh_axes,
+        )
 
     # -- the per-step lifecycle ---------------------------------------------
     def refresh(self) -> np.ndarray:

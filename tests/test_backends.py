@@ -480,9 +480,11 @@ class TestBackendOwnedStep:
                 cs[axis], checksum(new, axis, dtype=np.float64)
             ) <= 1e-10
 
-    def test_degenerate_periodic_halo_falls_back(self, rng, backend_name):
-        """Ghost wider than the interior: every backend must decline the
-        fused fast path and still produce the pad_array-exact result."""
+    def test_degenerate_periodic_halo_handled(self, rng, backend_name):
+        """Ghost wider than the interior: interpreted backends take the
+        base refresh-then-sweep path, a compiling backend generates the
+        modular-tiling kernel and fuses it — either way the result is
+        pad_array-exact."""
         from repro.stencil.spec import StencilSpec
 
         spec = StencilSpec.from_dict(
@@ -491,7 +493,10 @@ class TestBackendOwnedStep:
         shape = (1, 6)  # interior extent 1 < radius 2 along axis 0
         bc = BoundaryCondition.periodic()
         be = get_backend(backend_name)
-        assert not be.supports_fused_step(spec, bc, spec.radius(), shape)
+        assert (
+            be.supports_fused_step(spec, bc, spec.radius(), shape)
+            == be.compiles_kernels
+        )
         u = _domain(rng, shape)
         expected = get_backend(REFERENCE).sweep_padded(
             pad_array(u, spec.radius(), bc), spec, spec.radius(), shape
@@ -576,7 +581,7 @@ class TestOptionalNumbaBackend:
         assert isinstance(get_backend("numba"), NumbaBackend)
 
     @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
-    def test_numba_advertises_fused_step(self):
+    def test_numba_advertises_fused_step_for_every_layout(self):
         from repro.stencil.spec import StencilSpec
 
         be = get_backend("numba")
@@ -584,8 +589,10 @@ class TestOptionalNumbaBackend:
         assert be.supports_fused_step(
             spec, BoundaryCondition.clamp(), spec.radius(), SHAPE_2D
         )
+        # Degenerate periodic halo (ghost wider than the interior): the
+        # halo plan lowers it to the modular tiling — no decline.
         wide = StencilSpec.from_dict({(-2, 0): 0.5, (2, 0): 0.5})
-        assert not be.supports_fused_step(
+        assert be.supports_fused_step(
             wide, BoundaryCondition.periodic(), wide.radius(), (1, 6)
         )
 
@@ -607,3 +614,20 @@ class TestOptionalNumbaBackend:
             assert "unavailable" not in numba_line
         else:
             assert "unavailable" in numba_line
+
+    def test_cli_kernels_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["backends", "--kernels"]) == 0
+        out = capsys.readouterr().out
+        if NUMBA_AVAILABLE:
+            get_backend("numba").warmup(
+                stencil_library_2d()[1], BoundaryCondition.clamp()
+            )
+            capsys.readouterr()
+            assert main(["backends", "--kernels"]) == 0
+            out = capsys.readouterr().out
+            assert "compiled kernel module" in out
+            assert "codegen" in out
+        else:
+            assert "no compiling backends registered" in out

@@ -1,15 +1,20 @@
 """Interpreted validation of the numba backend's kernel *logic*.
 
-The numba backend's kernels only execute where ``numba`` is installed
-(the JIT job of the CI matrix), which would leave their index
-arithmetic, boundary corner ownership and per-point checksum
-accumulation untested everywhere else.  This module closes that gap:
-when numba is absent, it installs a stub ``numba`` module whose
-``njit`` is an identity decorator and whose ``prange`` is ``range``,
-reloads ``repro.backends.numba_backend`` against it and runs the
-kernels as plain Python over NumPy arrays.  Everything except
-compilation itself — ghost-refresh slab semantics, offset indexing,
-accumulation order and dtype handling — is exercised bit for bit.
+The numba backend's generated kernels only JIT-compile where ``numba``
+is installed (the JIT job of the CI matrix), which would leave their
+emitted index arithmetic, boundary corner ownership and per-point
+checksum accumulation untested everywhere else.  This module closes
+that gap: when numba is absent, it installs a stub ``numba`` module
+whose ``njit`` is an identity decorator and whose ``prange`` is
+``range``, reloads ``repro.backends.numba_backend`` against it and
+executes the **generated source** as plain Python over NumPy arrays
+(the backend is handed a ``jit=False`` kernel compiler writing to a
+private cache directory).  Everything except compilation itself —
+ghost-refresh slab semantics, offset indexing, accumulation order and
+dtype handling — is exercised bit for bit.  The compiler pipeline
+itself (plans, emitted source, cache behaviour, random-layout
+bit-identity) is covered by ``tests/test_codegen.py``, which runs
+under real numba too.
 
 When the real numba *is* installed these tests are skipped: the main
 suite (``tests/test_backends.py`` with the backend registered) already
@@ -73,15 +78,19 @@ def _make_stub_numba() -> types.ModuleType:
 
 
 @pytest.fixture(scope="module")
-def interpreted_backend():
-    """A ``NumbaBackend`` whose kernels run as plain Python."""
+def interpreted_backend(tmp_path_factory):
+    """A ``NumbaBackend`` whose generated kernels run as plain Python."""
     import repro.backends.numba_backend as mod
+    from repro.backends.codegen import KernelCompiler
 
     sys.modules["numba"] = _make_stub_numba()
     try:
         mod = importlib.reload(mod)
         assert mod.NUMBA_AVAILABLE  # the stub satisfies the import gate
-        yield mod.NumbaBackend()
+        compiler = KernelCompiler(
+            cache_dir=tmp_path_factory.mktemp("kernels"), jit=False
+        )
+        yield mod.NumbaBackend(compiler=compiler)
     finally:
         sys.modules.pop("numba", None)
         importlib.reload(mod)  # restore the genuine gate state
@@ -125,8 +134,10 @@ def test_sweep_and_checksums_match_reference(
         padded, spec, radius, shape, (0, 1), constant=const,
         checksum_dtype=np.float64,
     )
-    scale = np.maximum(np.abs(expected), 1.0)
-    assert float(np.max(np.abs(new - expected) / scale)) < 1e-5
+    # The generated sweep accumulates in the reference's exact order
+    # (constant first, then points lexicographically, pre-cast weights),
+    # so the interior is bit-identical — not merely within tolerance.
+    np.testing.assert_array_equal(new, expected)
     for axis in (0, 1):
         posthoc = checksum(new, axis, dtype=np.float64)
         cscale = np.maximum(np.abs(posthoc), 1.0)
@@ -197,21 +208,49 @@ def test_fused_refresh_bit_identical(
     np.testing.assert_array_equal(src, src_ref)
 
 
-def test_degenerate_periodic_declined(interpreted_backend, rng):
+def test_degenerate_periodic_compiled(interpreted_backend, rng):
+    """Periodic ghosts wider than the interior — formerly declined by the
+    hand-written kernels — lower to the modular-tiling index mapping and
+    run the compiled fused step, bit-identical to the reference."""
     be = interpreted_backend
     wide = StencilSpec.from_dict(
         {(-2, 0): 0.2, (2, 0): 0.2, (0, -1): 0.3, (0, 1): 0.3}
     )
     shape = (1, 6)
     bc = BoundaryCondition.periodic()
-    assert not be.supports_fused_step(wide, bc, wide.radius(), shape)
+    assert be.supports_fused_step(wide, bc, wide.radius(), shape)
     u = _domain(rng, shape)
     expected = get_backend("numpy").sweep_padded(
         pad_array(u, wide.radius(), bc), wide, wide.radius(), shape
     )
     src, dst = _poisoned_pair(u, wide.radius())
     result = be.step_into(src, dst, wide, wide.radius(), shape, bc)
-    np.testing.assert_allclose(result, expected, rtol=1e-6)
+    np.testing.assert_array_equal(result, expected)
+
+
+def test_external_axis_orderings_compiled(interpreted_backend, rng):
+    """External (distributed) axes *after* refreshed axes — the other
+    ordering the hand-written kernels declined — also run the compiled
+    step: ghost slabs along axis 1 are left untouched (ingested halo
+    data) while axis 0 refreshes over their full extent."""
+    be = interpreted_backend
+    spec = kernels.nine_point_smoothing()
+    shape = SHAPE_2D
+    radius = spec.radius()
+    bc = BoundaryCondition.clamp()
+    assert be.supports_fused_step(spec, bc, radius, shape)
+    u = _domain(rng, shape)
+    src_ref = pad_array(u, radius, bc)
+    src = src_ref.copy()
+    refresh_ghosts(src_ref, radius, bc, axes=(0,))
+    dst_ref = np.full_like(src_ref, np.nan)
+    expected = be.sweep_into(src_ref, dst_ref, spec, radius, shape)
+    dst = np.full_like(src, np.nan)
+    result = be.step_into(
+        src, dst, spec, radius, shape, bc, refresh_axes=(0,)
+    )
+    np.testing.assert_array_equal(result, expected)
+    np.testing.assert_array_equal(src, src_ref)
 
 
 def test_warmup_exercises_every_kernel_family(interpreted_backend):
