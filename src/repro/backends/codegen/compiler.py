@@ -92,14 +92,34 @@ class CompiledKernels:
     def step_cs(self):
         return getattr(self.module, "step_cs", None)
 
+    @property
+    def step_k(self):
+        return getattr(self.module, "step_k", None)
+
+    @property
+    def step_k_cs(self):
+        return getattr(self.module, "step_k_cs", None)
+
     def describe(self) -> Dict:
         """Stats entry for ``repro backends --kernels`` / the benchmark."""
+        kind = "sweep"
+        if self.plan.has_step:
+            kind = "step_k" if self.plan.is_blocked else "step"
+        ghost_growth = None
+        if self.plan.is_blocked and self.plan.halo is not None:
+            ghost_growth = {
+                f"axis{h.axis}": h.radius
+                for h in self.plan.halo
+                if h.kind == "external"
+            }
         return {
             "signature": self.plan.signature,
             "digest": self.plan.digest,
             "spec": self.plan.spec_signature,
             "layout": self.plan.layout_signature,
-            "kind": "step" if self.plan.has_step else "sweep",
+            "kind": kind,
+            "block_steps": self.plan.block_steps,
+            "ghost_growth": ghost_growth,
             "path": str(self.path),
             "jit": self.jit,
             "from_disk": self.from_disk,
@@ -140,15 +160,20 @@ class KernelCompiler:
         spec: StencilSpec,
         has_const: bool = False,
         layout: Optional[GridLayout] = None,
+        block_steps: int = 1,
     ) -> CompiledKernels:
         """The compiled kernel set for ``spec`` (+ optional ``layout``).
 
         Kernels are keyed on the *structural* plan signature — offset
-        table, constant-term presence, ghost widths and boundary kinds —
-        so specs differing only in weights, and layouts differing only
-        in fill values, share one entry.
+        table, constant-term presence, ghost widths, boundary kinds and
+        the temporal block factor ``block_steps`` — so specs differing
+        only in weights, and layouts differing only in fill values,
+        share one entry, while each requested block factor gets its own
+        specialized module (the ``(signature, k)`` disk-cache key).
         """
-        plan = plan_kernel(spec, has_const=has_const, layout=layout)
+        plan = plan_kernel(
+            spec, has_const=has_const, layout=layout, block_steps=block_steps
+        )
         entry = self._entries.get(plan.signature)
         if entry is not None:
             entry.hits += 1

@@ -9,8 +9,9 @@ Regenerates the paper's tables and figures from the command line::
     python -m repro figure11
     python -m repro sensitivity
     python -m repro all --scale quick
-    python -m repro backends
+    python -m repro backends --kernels --json
     python -m repro distributed --ranks 4 --iters 50
+    python -m repro distributed --ranks 4 --no-protect --boundary periodic --block-steps 4
     python -m repro campaign --tile 64 64 8 --repetitions 50 --executor process
 
 ``--scale paper`` switches to the published campaign parameters
@@ -149,7 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernels",
         action="store_true",
         help="also list the compiled-kernel cache of every compiling "
-        "backend (spec/layout signature, codegen + warmup time, hits)",
+        "backend (spec/layout signature, block factor, codegen + warmup "
+        "time, hits)",
+    )
+    backends_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="with --kernels, dump the cache entries as JSON (full "
+        "untruncated signatures, machine-readable)",
     )
     subparsers.add_parser(
         "executors", help="list the available tile executors"
@@ -179,6 +187,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-protect",
         action="store_true",
         help="disable the per-rank OnlineABFT protectors",
+    )
+    dist.add_argument(
+        "--block-steps",
+        type=int,
+        default=1,
+        help="temporal blocking factor k: exchange k*radius-deep halos "
+        "every k sweeps and run fused k-step kernels (requires "
+        "--no-protect and a periodic boundary; ineligible runs fall "
+        "back to k=1 and report why)",
+    )
+    dist.add_argument(
+        "--boundary",
+        choices=("clamp", "periodic"),
+        default="clamp",
+        help="boundary condition of the global domain (periodic enables "
+        "temporal blocking along the distributed axis)",
     )
 
     camp = subparsers.add_parser(
@@ -246,24 +270,40 @@ def _run_distributed(args) -> int:
 
     rng = np.random.default_rng(42)
     initial = (rng.random((args.size, args.size)) * 100.0).astype(np.float32)
-    grid = Grid2D(
-        initial, five_point_diffusion(0.2), BoundaryCondition.clamp()
+    boundary = (
+        BoundaryCondition.periodic()
+        if args.boundary == "periodic"
+        else BoundaryCondition.clamp()
     )
+    grid = Grid2D(initial, five_point_diffusion(0.2), boundary)
     runner = DistributedStencilRunner(
         grid,
         n_ranks=args.ranks,
         protect=not args.no_protect,
         backend=args.backend,
+        block_steps=args.block_steps,
     )
     runner.run(args.iters)
 
     gathered = runner.gather()
     checksum = float(gathered.sum(dtype=np.float64))
     print(
-        f"distributed run: {args.size}x{args.size} five-point diffusion, "
-        f"{args.ranks} ranks, {args.iters} iterations "
+        f"distributed run: {args.size}x{args.size} five-point diffusion "
+        f"({args.boundary}), {args.ranks} ranks, {args.iters} iterations "
         f"(backend {runner.backend.name})"
     )
+    if runner.block_steps > 1 or runner.effective_block_steps > 1:
+        if runner.block_cap_reason is not None:
+            print(
+                f"temporal block : requested k={runner.block_steps}, "
+                f"capped to k=1 ({runner.block_cap_reason})"
+            )
+        else:
+            print(
+                f"temporal block : k={runner.effective_block_steps} "
+                f"(halo depth {runner.halo_width}, one exchange per "
+                f"{runner.effective_block_steps} sweeps)"
+            )
     print(f"gather checksum : {checksum:.6f}")
     print(
         f"halo traffic    : {runner.channel.messages_sent} messages, "
@@ -367,6 +407,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:12s} -> unavailable ({reason})")
         if getattr(args, "kernels", False):
             compiling = [b for b in seen if b.compiles_kernels]
+            if getattr(args, "json", False):
+                import json
+
+                payload = {
+                    b.name: [dict(e) for e in b.compiled_kernels()]
+                    for b in compiling
+                }
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                return 0
             if not compiling:
                 print("\nno compiling backends registered")
             for backend in compiling:
@@ -378,14 +427,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 for e in entries:
                     cached = "disk" if e["from_disk"] else "fresh"
                     print(
-                        f"  {e['digest']}  {e['kind']:5s} {cached:5s} "
+                        f"  {e['digest']}  {e['kind']:6s} "
+                        f"k={e['block_steps']} {cached:5s} "
                         f"codegen {e['codegen_ms']:.2f} ms  "
                         f"warmup {e['warmup_ms']:.2f} ms  "
                         f"hits {e['hits']}  misses {e['misses']}"
                     )
+                    # Full signatures, never truncated: the digest above
+                    # is only a 16-char hash prefix, so the complete
+                    # cache-key identity (spec + layout + block factor)
+                    # is spelled out per entry.
                     print(f"    spec   {e['spec']}")
                     if e["layout"]:
                         print(f"    layout {e['layout']}")
+                    if e["ghost_growth"]:
+                        ghosts = "  ".join(
+                            f"{axis}:+{depth}"
+                            for axis, depth in sorted(e["ghost_growth"].items())
+                        )
+                        print(f"    ghosts {ghosts} (deep halo, k-step plan)")
         return 0
 
     if args.command == "distributed":

@@ -191,6 +191,22 @@ class DistributedStencilRunner:
         Decomposition axis (default 0).  Any axis works — including the
         orderings where the external axis follows refreshed axes, which
         the compiled backend handles like any other layout.
+    block_steps:
+        Temporal blocking factor.  When eligible, every rank's buffer
+        pair carries a deep ghost slab of ``block_steps * radius`` along
+        the distributed axis, halos are exchanged once per ``block_steps``
+        sweeps, and each exchange drives the backend's fused k-step
+        kernel (trapezoidal tile shrink across the deep halo) —
+        ``block_steps``\\ x fewer messages and kernel launches for a
+        bit-identical trajectory.  The effective factor
+        (:attr:`effective_block_steps`) is capped to 1 — with the cause
+        recorded in :attr:`block_cap_reason` — when blocking cannot
+        preserve semantics: per-rank protection (OnlineABFT verifies
+        every step), a non-periodic boundary along the distributed axis
+        (edge ranks must re-synthesise ghosts every sweep), a per-point
+        constant (cannot be trapezoid-indexed across the deep halo), or
+        a rank block thinner than the deep halo.  Injection hooks force
+        the single-step path at :meth:`run` time.
     abft_kwargs:
         Extra keyword arguments for each rank's protector.
 
@@ -214,10 +230,14 @@ class DistributedStencilRunner:
         protect: bool = True,
         backend: BackendLike = None,
         axis: int = DISTRIBUTED_AXIS,
+        block_steps: int = 1,
         **abft_kwargs,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
+        block_steps = int(block_steps)
+        if block_steps < 1:
+            raise ValueError("block_steps must be >= 1")
         if not 0 <= int(axis) < grid.ndim:
             raise ValueError(
                 f"axis {axis} out of range for a {grid.ndim}-d grid"
@@ -235,6 +255,44 @@ class DistributedStencilRunner:
 
         axis_bc = self.boundary.axis(self.axis)
         bounds = partition_extent(grid.shape[self.axis], self.n_ranks)
+
+        # Temporal-blocking eligibility: cap k to 1 (recording why)
+        # whenever a deep-halo blocked schedule could not reproduce the
+        # single-step trajectory bit for bit.
+        width = self.radius[self.axis]
+        min_extent = min(stop - start for start, stop in bounds)
+        reason: Optional[str] = None
+        if block_steps > 1:
+            if protect:
+                reason = (
+                    "per-rank OnlineABFT verifies every step; blocked"
+                    " sweeps would skip its detection points"
+                )
+            elif width > 0 and not axis_bc.is_periodic:
+                reason = (
+                    f"{axis_bc.kind!r} boundary along distributed axis"
+                    f" {self.axis}: edge ranks must re-synthesise ghosts"
+                    " every sweep"
+                )
+            elif width > 0 and grid.constant is not None:
+                reason = (
+                    "a per-point constant cannot be trapezoid-indexed"
+                    " across the deep external halo"
+                )
+            elif width > 0 and min_extent < block_steps * width:
+                reason = (
+                    f"smallest rank block extent {min_extent} is thinner"
+                    f" than the deep halo k*r = {block_steps * width}"
+                )
+        self.block_steps = block_steps
+        self.block_cap_reason = reason
+        self.effective_block_steps = 1 if reason is not None else block_steps
+        #: Ghost-slab depth along the distributed axis (= k * radius).
+        self.halo_width = self.effective_block_steps * width
+        rank_radius = list(self.radius)
+        rank_radius[self.axis] = self.halo_width
+        self.rank_radius = tuple(rank_radius)
+
         self.ranks: List[SimRank] = []
         for r, (start, stop) in enumerate(bounds):
             sl = [slice(None)] * grid.ndim
@@ -269,7 +327,7 @@ class DistributedStencilRunner:
                     lo_neighbor=lo,
                     hi_neighbor=hi,
                     global_offset=start,
-                    radius=self.radius,
+                    radius=self.rank_radius,
                     boundary=self.boundary,
                     axis=self.axis,
                 )
@@ -283,8 +341,9 @@ class DistributedStencilRunner:
             self.spec,
             boundary=self.boundary,
             dtype=self.dtype,
-            radius=self.radius,
+            radius=self.rank_radius,
             external_axes=external,
+            block_steps=self.effective_block_steps,
         )
 
     @property
@@ -294,7 +353,7 @@ class DistributedStencilRunner:
 
     # -- halo exchange -------------------------------------------------------------
     def _post_halos(self) -> None:
-        width = self.radius[self.axis]
+        width = self.halo_width
         if width == 0:
             return
         for rank in self.ranks:
@@ -317,24 +376,24 @@ class DistributedStencilRunner:
         during the step, matching the serial ``pad_array`` order
         bit for bit.
         """
-        width = self.radius[self.axis]
+        width = self.halo_width
         if width == 0:
             return
         front = rank.buffers.front
         axis_bc = self.boundary.axis(self.axis)
         if rank.lo_neighbor is not None:
             payload = self.channel.recv(rank.lo_neighbor, rank.rank, "to_lo")
-            ingest_halo(front, self.radius, self.axis, "low", payload)
+            ingest_halo(front, self.rank_radius, self.axis, "low", payload)
         else:
             synthesize_ghost_into(
-                front, self.radius, self.axis, "low", axis_bc
+                front, self.rank_radius, self.axis, "low", axis_bc
             )
         if rank.hi_neighbor is not None:
             payload = self.channel.recv(rank.hi_neighbor, rank.rank, "to_hi")
-            ingest_halo(front, self.radius, self.axis, "high", payload)
+            ingest_halo(front, self.rank_radius, self.axis, "high", payload)
         else:
             synthesize_ghost_into(
-                front, self.radius, self.axis, "high", axis_bc
+                front, self.rank_radius, self.axis, "high", axis_bc
             )
 
     # -- stepping --------------------------------------------------------------------
@@ -386,13 +445,56 @@ class DistributedStencilRunner:
             reports.append(report)
         return reports
 
+    def _blocked_step(self, k: int) -> List[StepReport]:
+        """One deep-halo exchange driving ``k`` fused sweeps per rank.
+
+        Each rank posts a ``k * radius``-deep strip, ingests its
+        neighbours' strips into the deep ghost slabs and runs the
+        backend's k-step kernel: the distributed axis shrinks
+        trapezoidally across the deep halo while every other axis
+        refreshes from the boundary spec each sub-step.  Only reachable
+        for unprotected runs, so the per-iteration reports are
+        synthesised (``detection_performed=False``), iteration-major to
+        match the shape of ``k`` single steps.
+        """
+        self._post_halos()
+        backend = self.backend
+        start = self.iteration
+        self.iteration += k
+        for rank in self.ranks:
+            self._ingest_halos(rank)
+            rank.buffers.multi_step(
+                backend, self.spec, k, constant=rank.constant
+            )
+        reports: List[StepReport] = []
+        for it in range(start + 1, start + k + 1):
+            for rank in self.ranks:
+                report = StepReport(iteration=it, detection_performed=False)
+                rank.reports.append(report)
+                reports.append(report)
+        return reports
+
     def run(self, iterations: int, inject=None) -> List[StepReport]:
-        """Advance ``iterations`` distributed sweeps."""
+        """Advance ``iterations`` distributed sweeps.
+
+        With an eligible ``block_steps`` and no injection hook the loop
+        advances in fused k-step chunks (one halo exchange per chunk);
+        injection hooks force the per-iteration :meth:`step` path so
+        faults land on exact iteration boundaries.
+        """
         if iterations < 0:
             raise ValueError("iterations must be non-negative")
         all_reports: List[StepReport] = []
-        for _ in range(iterations):
-            all_reports.extend(self.step(inject=inject))
+        k = self.effective_block_steps if inject is None else 1
+        remaining = iterations
+        while remaining > 0:
+            if k <= 1 or remaining == 1:
+                all_reports.extend(self.step(inject=inject))
+                remaining -= 1
+            else:
+                chunk = min(k, remaining)
+                all_reports.extend(self._blocked_step(chunk))
+                remaining -= chunk
         return all_reports
 
     # -- gather / bookkeeping -----------------------------------------------------------

@@ -77,3 +77,76 @@ class TestMain:
         assert args.ranks == 4
         assert args.iters == 50
         assert args.backend is None
+        assert args.block_steps == 1
+        assert args.boundary == "clamp"
+
+    def test_distributed_blocked_periodic(self, capsys):
+        assert main(["distributed", "--ranks", "3", "--iters", "6",
+                     "--size", "32", "--no-protect",
+                     "--boundary", "periodic", "--block-steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "temporal block : k=3" in out
+        # 6 iterations in k=3 chunks: 2 exchanges x 3 ring interfaces x 2.
+        assert "12 messages" in out
+
+    def test_distributed_blocked_cap_reported(self, capsys):
+        assert main(["distributed", "--ranks", "2", "--iters", "2",
+                     "--size", "24", "--block-steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "capped to k=1" in out
+        assert "OnlineABFT" in out
+
+
+class TestKernelListing:
+    """`repro backends --kernels` against a jit=False compiled backend."""
+
+    @pytest.fixture
+    def compiled_cli(self, tmp_path, monkeypatch):
+        from repro import cli
+        from repro.backends.codegen import KernelCompiler
+        from repro.backends.numba_backend import NumbaBackend
+        from repro.stencil.boundary import BoundaryCondition
+        from repro.stencil.kernels import five_point_diffusion
+
+        backend = NumbaBackend(
+            compiler=KernelCompiler(cache_dir=tmp_path, jit=False)
+        )
+        backend.warmup(
+            five_point_diffusion(0.2),
+            boundary=BoundaryCondition.periodic(),
+            radius=(3, 1),
+            external_axes=(0,),
+            block_steps=3,
+        )
+        monkeypatch.setattr(cli, "available_backends", lambda: ["numba"])
+        monkeypatch.setattr(cli, "default_backend_name", lambda: "numba")
+        monkeypatch.setattr(cli, "get_backend", lambda name=None: backend)
+        monkeypatch.setattr(cli, "unavailable_backends", lambda: {})
+        return backend
+
+    def test_kernels_listing_shows_block_factor_and_ghosts(
+        self, compiled_cli, capsys
+    ):
+        assert main(["backends", "--kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "k=3" in out
+        assert "step_k" in out
+        assert "ghosts axis0:+3 (deep halo, k-step plan)" in out
+        # Full cache-key identity, never truncated: every entry spells
+        # out the complete spec signature (the digest is only a prefix).
+        for e in compiled_cli.compiled_kernels():
+            assert f"spec   {e['spec']}" in out
+            assert len(e["spec"]) > len(e["digest"])
+
+    def test_kernels_json_dump(self, compiled_cli, capsys):
+        import json
+
+        assert main(["backends", "--kernels", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        entries = payload["numba"]
+        assert entries
+        kinds = {(e["kind"], e["block_steps"]) for e in entries}
+        assert ("step_k", 3) in kinds
+        blocked = next(e for e in entries if e["kind"] == "step_k")
+        assert blocked["ghost_growth"] == {"axis0": 3}

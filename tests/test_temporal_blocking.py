@@ -1,0 +1,346 @@
+"""Temporal blocking with checksum carry: k fused sweeps per traversal.
+
+The load-bearing property, checked at every layer: a blocked window of
+``k`` sub-steps is **bit-identical** to ``k`` single steps — domain,
+halos, checksums, protector reports and recovery trajectories included.
+
+The centrepiece is a hypothesis sweep over random stencil specs
+(radius ≤ 3, 2D and 3D), random boundary-kind mixes (including
+degenerate periodic halos), random external-axis subsets with
+``k * r``-deep ghosts and block factors k ∈ {1..4}: the compiled
+``step_k`` kernel must reproduce k interpreted single steps bit for
+bit, and the window-closing checksum fold (the checksum carry) must
+equal the one the verify-every-step path produces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import all_boundary_conditions
+from repro.backends import get_backend
+from repro.backends.base import Backend
+from repro.backends.codegen import KernelCompiler
+from repro.backends.numba_backend import NumbaBackend
+from repro.core.offline import OfflineABFT
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+from repro.stencil.grid import Grid2D
+from repro.stencil.kernels import five_point_diffusion, nine_point_smoothing
+from repro.stencil.shift import interior_view, padded_shape
+from repro.stencil.spec import StencilSpec
+
+
+def _grid(rng, bc=None, spec=None, shape=(20, 14), constant=False):
+    spec = spec or five_point_diffusion(0.2)
+    bc = bc or BoundaryCondition.clamp()
+    u0 = (rng.random(shape) * 100).astype(np.float32)
+    const = (rng.random(shape) * 0.1).astype(np.float32) if constant else None
+    return Grid2D(u0, spec, bc, constant=const)
+
+
+# -- grid level: multi_step(k) == k x step() --------------------------------
+
+
+class TestGridMultiStep:
+    @pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("constant", [False, True], ids=["plain", "const"])
+    def test_multi_step_bitwise_equals_k_steps(self, rng, bc, k, constant):
+        blocked = _grid(rng, bc=bc, constant=constant)
+        stepped = blocked.copy()
+        new = blocked.multi_step(k)
+        for _ in range(k):
+            stepped.step()
+        np.testing.assert_array_equal(blocked.u, stepped.u)
+        np.testing.assert_array_equal(new, stepped.u)
+        # The back buffer must hold the true step t+k-1 state — the only
+        # intermediate a protector needs for Theorem-1 interpolation.
+        np.testing.assert_array_equal(blocked.previous, stepped.previous)
+        np.testing.assert_array_equal(
+            blocked.previous_padded, stepped.previous_padded
+        )
+        assert blocked.iteration == stepped.iteration == k
+
+    @pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_multi_step_with_checksums_carries_final_fold(self, rng, bc, k):
+        blocked = _grid(rng, bc=bc, spec=nine_point_smoothing())
+        stepped = blocked.copy()
+        new, cs = blocked.multi_step_with_checksums(k, (0, 1))
+        for _ in range(k - 1):
+            stepped.step()
+        ref, ref_cs = stepped.step_with_checksums((0, 1))
+        np.testing.assert_array_equal(new, ref)
+        for axis in (0, 1):
+            np.testing.assert_array_equal(cs[axis], ref_cs[axis])
+        np.testing.assert_array_equal(blocked.previous, stepped.previous)
+
+    def test_invalid_block_steps(self, rng):
+        with pytest.raises(ValueError, match="block steps"):
+            _grid(rng).multi_step(0)
+
+
+# -- the property sweep: compiled step_k vs k interpreted steps -------------
+
+_KIND_STRATEGY = st.sampled_from(("clamp", "periodic", "constant", "zero"))
+
+
+def _bc(kind):
+    if kind == "constant":
+        return BoundaryCondition.constant(2.5)
+    return getattr(BoundaryCondition, kind)()
+
+
+@st.composite
+def _blocked_cases(draw):
+    ndim = draw(st.integers(2, 3))
+    npoints = draw(st.integers(1, 5))
+    offsets = draw(
+        st.lists(
+            st.tuples(*[st.integers(-3, 3)] * ndim),
+            min_size=npoints, max_size=npoints, unique=True,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(-1.0, 1.0, allow_nan=False, width=32),
+            min_size=npoints, max_size=npoints,
+        )
+    )
+    spec = StencilSpec(list(zip(offsets, weights)))
+    radius = spec.radius()
+    k = draw(st.integers(1, 4))
+    # Interior extents deliberately allowed below the ghost width, so
+    # degenerate periodic wraps (r > n) are drawn too.
+    shape = tuple(draw(st.integers(1, 6)) for _ in range(ndim))
+    kinds = tuple(draw(_KIND_STRATEGY) for _ in range(ndim))
+    external = tuple(
+        a for a in range(ndim) if draw(st.booleans()) and radius[a] > 0
+    )
+    # A per-point constant cannot be trapezoid-indexed across a deep
+    # external halo — that combination is rejected, not drawn.
+    has_const = draw(st.booleans()) and not (external and k > 1)
+    return spec, shape, kinds, external, has_const, k
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=_blocked_cases(), seed=st.integers(0, 2**31 - 1))
+def test_blocked_window_bit_identical_to_k_single_steps(
+    case, seed, tmp_path_factory
+):
+    """Random spec × layout × k: compiled ``step_k`` ≡ k single steps.
+
+    External axes get a ``k * r``-deep ghost slab of random data
+    (standing in for an ingested deep halo); the reference advances the
+    same buffer pair through k interpreted single steps over the
+    trapezoid sub-views (the base-class fallback on the ``numpy``
+    backend).  Both clobbered buffers must come out bit-identical, and
+    the checksum-carrying form must return exactly the vectors the
+    verify-every-step path folds on the final sub-step.
+    """
+    spec, shape, kinds, external, has_const, k = case
+    spec_r = spec.radius()
+    layout_radius = tuple(
+        k * r if a in external else r for a, r in enumerate(spec_r)
+    )
+    boundary = BoundarySpec.from_any([_bc(kd) for kd in kinds], spec.ndim)
+    refresh_axes = (
+        tuple(a for a in range(spec.ndim) if a not in external)
+        if external
+        else None
+    )
+    rng = np.random.default_rng(seed)
+    pshape = padded_shape(shape, layout_radius)
+    src0 = rng.standard_normal(pshape).astype(np.float32)
+    dst0 = rng.standard_normal(pshape).astype(np.float32)
+    const = (
+        rng.standard_normal(shape).astype(np.float32) if has_const else None
+    )
+
+    # Reference: the interpreted per-sub-step fallback (k single steps).
+    ref_src, ref_dst = src0.copy(), dst0.copy()
+    ref_interior = get_backend("numpy").multi_step_into(
+        ref_src, ref_dst, k, spec, layout_radius, shape, boundary,
+        constant=const, refresh_axes=refresh_axes,
+    )
+
+    compiler = KernelCompiler(
+        cache_dir=tmp_path_factory.mktemp("blocked"), jit=False
+    )
+    backend = NumbaBackend(compiler=compiler)
+
+    got_src, got_dst = src0.copy(), dst0.copy()
+    got_interior = backend.multi_step_into(
+        got_src, got_dst, k, spec, layout_radius, shape, boundary,
+        constant=const, refresh_axes=refresh_axes,
+    )
+    np.testing.assert_array_equal(got_interior, ref_interior)
+    if external:
+        # Deep-ghost corners outside the final trapezoid are dead cells
+        # (never read by any sub-step); the fused kernel and the
+        # per-view fallback may refresh them differently.  The contract
+        # covers both buffers' interiors — final state and the carried
+        # t+k-1 intermediate.
+        np.testing.assert_array_equal(
+            interior_view(got_src, layout_radius),
+            interior_view(ref_src, layout_radius),
+        )
+        np.testing.assert_array_equal(
+            interior_view(got_dst, layout_radius),
+            interior_view(ref_dst, layout_radius),
+        )
+    else:
+        np.testing.assert_array_equal(got_src, ref_src)
+        np.testing.assert_array_equal(got_dst, ref_dst)
+
+    # Checksum carry: the fused step_k_cs fold must equal the fold the
+    # verify-every-step path produces on the same compiled backend.
+    axes = (0, 1)
+    cs_src, cs_dst = src0.copy(), dst0.copy()
+    blocked_interior, blocked_cs = backend.multi_step_into_with_checksums(
+        cs_src, cs_dst, k, spec, layout_radius, shape, boundary, axes,
+        constant=const, checksum_dtype=np.float64,
+        refresh_axes=refresh_axes,
+    )
+    ss_src, ss_dst = src0.copy(), dst0.copy()
+    ss_interior, ss_cs = Backend.multi_step_into_with_checksums(
+        backend, ss_src, ss_dst, k, spec, layout_radius, shape, boundary,
+        axes, constant=const, checksum_dtype=np.float64,
+        refresh_axes=refresh_axes,
+    )
+    np.testing.assert_array_equal(blocked_interior, ref_interior)
+    np.testing.assert_array_equal(ss_interior, ref_interior)
+    for axis in axes:
+        np.testing.assert_array_equal(blocked_cs[axis], ss_cs[axis])
+
+
+def test_blocked_window_rejects_constant_with_external_axes(rng):
+    spec = five_point_diffusion(0.2)
+    shape = (6, 5)
+    radius = (2, 1)
+    src = np.zeros(padded_shape(shape, radius), dtype=np.float32)
+    dst = np.zeros_like(src)
+    const = np.zeros(shape, dtype=np.float32)
+    with pytest.raises(ValueError, match="constant"):
+        get_backend("numpy").multi_step_into(
+            src, dst, 2, spec, radius, shape,
+            BoundarySpec.from_any(BoundaryCondition.clamp(), 2),
+            constant=const, refresh_axes=(1,),
+        )
+
+
+def test_blocked_window_rejects_thin_external_ghosts(rng):
+    spec = five_point_diffusion(0.2)
+    shape = (6, 5)
+    radius = (1, 1)  # k=3 needs 3-deep ghosts along the external axis
+    src = np.zeros(padded_shape(shape, radius), dtype=np.float32)
+    dst = np.zeros_like(src)
+    with pytest.raises(ValueError, match="ghost width"):
+        get_backend("numpy").multi_step_into(
+            src, dst, 3, spec, radius, shape,
+            BoundarySpec.from_any(BoundaryCondition.clamp(), 2),
+            refresh_axes=(1,),
+        )
+
+
+def test_warmup_compiles_step_k_kernels(tmp_path):
+    compiler = KernelCompiler(cache_dir=tmp_path, jit=False)
+    backend = NumbaBackend(compiler=compiler)
+    backend.warmup(
+        five_point_diffusion(0.2),
+        boundary=BoundaryCondition.periodic(),
+        block_steps=3,
+    )
+    entries = backend.compiled_kernels()
+    kinds = {(e["kind"], e["block_steps"]) for e in entries}
+    # step_k and step_k_cs live in one cache entry, reported as step_k.
+    assert ("step_k", 3) in kinds
+    blocked = [e for e in entries if e["kind"] == "step_k"]
+    assert all("ghost_growth" in e for e in blocked)
+
+
+# -- OfflineABFT: blocked windows, checksum carry, fault recovery -----------
+
+
+class TestOfflineBlockedRuns:
+    def _protectors(self, grid, **kwargs):
+        """A (single-step, blocked) protector pair for mirrored runs."""
+        single = OfflineABFT.for_grid(
+            grid, track_strips=False, block_steps=1, **kwargs
+        )
+        blocked = OfflineABFT.for_grid(
+            grid, track_strips=False, block_steps=None, **kwargs
+        )
+        return single, blocked
+
+    @pytest.mark.parametrize("bc", all_boundary_conditions(), ids=lambda b: b.kind)
+    @pytest.mark.parametrize("iters", [16, 19])  # aligned + partial window
+    def test_error_free_run_bitwise_equals_single_step(self, rng, bc, iters):
+        g_single = _grid(rng, bc=bc)
+        g_blocked = g_single.copy()
+        single, blocked = self._protectors(g_single, period=8, epsilon=1e-5)
+        rep_s = single.run(g_single, iters)
+        rep_b = blocked.run(g_blocked, iters)
+        np.testing.assert_array_equal(g_blocked.u, g_single.u)
+        assert g_blocked.iteration == g_single.iteration == iters
+        assert len(rep_b.steps) == len(rep_s.steps)
+        for sb, ss in zip(rep_b.steps, rep_s.steps):
+            assert (
+                sb.iteration, sb.detection_performed, sb.errors_detected,
+                sb.rollback, sb.recomputed_iterations,
+            ) == (
+                ss.iteration, ss.detection_performed, ss.errors_detected,
+                ss.rollback, ss.recomputed_iterations,
+            )
+        # zero/constant boundaries break the Theorem-1 interpolation
+        # identity at this epsilon (identically in both legs, as the
+        # per-step comparison above shows); only clamp/periodic runs
+        # are genuinely detection-free.
+        if bc.kind in ("clamp", "periodic"):
+            assert rep_b.total_detected == rep_s.total_detected == 0
+
+    def test_flip_inside_blocked_window_detected_at_same_boundary(self, rng):
+        """The injection property: a bit flip *inside* a blocked window
+        must be caught at exactly the boundary step where the unblocked
+        run catches it, recover through the same rollback replay, and
+        land on bit-identical state."""
+        g_single = _grid(rng, shape=(24, 18))
+        g_blocked = g_single.copy()
+        single, blocked = self._protectors(g_single, period=8, epsilon=1e-5)
+        # Iteration 5 sits strictly inside the first 8-step window.
+        plan = FaultPlan(iteration=5, index=(11, 7), bit=26)
+        rep_s = single.run(g_single, 16, inject=FaultInjector([plan]))
+        rep_b = blocked.run(g_blocked, 16, inject=FaultInjector([plan]))
+
+        det_s = [s.iteration for s in rep_s.steps if s.errors_detected]
+        det_b = [s.iteration for s in rep_b.steps if s.errors_detected]
+        assert det_s == det_b == [8]
+        assert rep_b.total_rollbacks == rep_s.total_rollbacks >= 1
+        assert (
+            rep_b.total_recomputed_iterations
+            == rep_s.total_recomputed_iterations
+        )
+        np.testing.assert_array_equal(g_blocked.u, g_single.u)
+
+    def test_opaque_inject_hook_forces_single_steps(self, rng):
+        """A hook without introspectable plans must be called once per
+        iteration — blocked windows would skip its firing points."""
+        g = _grid(rng)
+        blocked = OfflineABFT.for_grid(
+            g, period=4, epsilon=1e-5, track_strips=False, block_steps=None
+        )
+        calls = []
+
+        def hook(grid, iteration):
+            calls.append(iteration)
+
+        blocked.run(g, 9, inject=hook)
+        assert calls == list(range(1, 10))
+
+    def test_blocked_with_track_strips_raises(self, rng):
+        with pytest.raises(ValueError, match="track_strips"):
+            OfflineABFT.for_grid(
+                _grid(rng), period=4, track_strips=True, block_steps=4
+            )
