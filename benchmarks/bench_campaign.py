@@ -150,6 +150,55 @@ def check_equivalence(smoke: bool) -> Dict[str, bool]:
 
 
 # --------------------------------------------------------------------------
+# Chaos resilience
+# --------------------------------------------------------------------------
+def check_chaos_resilience(chaos_mode: str) -> Dict[str, object]:
+    """Campaign under an injected worker failure vs an undisturbed run.
+
+    The chaos engine marks one batch so the pool worker that picks it up
+    kills or hangs itself mid-campaign; the engine must detect the loss,
+    restart the pool, re-dispatch the batch, and still produce records
+    bitwise-identical (all fields except elapsed time) to an engine that
+    was never disturbed.  ``worker_restarts`` proves the failure was
+    actually injected and survived, rather than silently skipped.
+    """
+    app = make_hotspot_app((16, 16, 4))
+    iterations, repetitions = 10, 24
+    reference = app.reference_solution(iterations)
+    factory = make_protector_factory("online-abft")
+    config = CampaignConfig(
+        iterations=iterations, repetitions=repetitions, inject=True, seed=7
+    )
+    workers = min(2, resolve_workers(None))
+    common = dict(executor="process", workers=workers, batch_size=4)
+
+    # chaos="off" pins an undisturbed baseline even when REPRO_CHAOS is
+    # exported (the CI smoke step sets it for the whole job).
+    with CampaignEngine(chaos="off", **common) as engine:
+        baseline = engine.run(app.build_grid, factory, config, reference=reference)
+        baseline_restarts = engine.worker_restarts
+
+    with CampaignEngine(
+        chaos=chaos_mode, worker_timeout=15.0, **common
+    ) as engine:
+        disturbed = engine.run(app.build_grid, factory, config, reference=reference)
+        restarts = engine.worker_restarts
+
+    identical = bool(
+        [_record_key(r) for r in disturbed.records]
+        == [_record_key(r) for r in baseline.records]
+    )
+    return {
+        "chaos_mode": chaos_mode,
+        "records_identical_to_undisturbed": identical,
+        "worker_restarts": restarts,
+        "baseline_worker_restarts": baseline_restarts,
+        "failure_was_injected_and_survived": bool(restarts >= 1),
+        "repetitions": repetitions,
+    }
+
+
+# --------------------------------------------------------------------------
 # Throughput
 # --------------------------------------------------------------------------
 def time_throughput(
@@ -306,7 +355,37 @@ def main(argv=None) -> int:
             f"{SPEEDUP_SMOKE_FLOOR}x"
         ),
     )
+    parser.add_argument(
+        "--chaos-smoke", action="store_true",
+        help=(
+            "CI chaos gate: run one small process-executor campaign with "
+            "an injected worker failure (mode from REPRO_CHAOS, default "
+            "worker-kill) next to an undisturbed one; exit non-zero "
+            "unless the pool was restarted at least once and the records "
+            "are bitwise-identical.  Runs only this check"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.chaos_smoke:
+        mode = os.environ.get("REPRO_CHAOS") or "worker-kill"
+        print(f"Chaos smoke: campaign engine under {mode} (process executor)")
+        chaos = check_chaos_resilience(mode)
+        survived = chaos["failure_was_injected_and_survived"]
+        identical = chaos["records_identical_to_undisturbed"]
+        print(
+            f"  worker-pool restarts : {chaos['worker_restarts']} "
+            f"{'ok' if survived else 'FAIL (failure never injected)'}"
+        )
+        print(
+            f"  records vs undisturbed: "
+            f"{'bitwise-identical ok' if identical else 'DIFFER FAIL'}"
+        )
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump({"chaos": chaos}, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        return 0 if (survived and identical) else 1
 
     if args.smoke:
         args.iters = min(args.iters, 16)

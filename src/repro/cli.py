@@ -230,6 +230,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument("--seed", type=int, default=0, help="campaign base seed")
     camp.add_argument(
+        "--fault-model", default=None, metavar="NAME",
+        help="pluggable fault model for injected runs (see `repro.faults."
+        "models`): bitflip (paper default), burst, mtbf, region, "
+        "region-checksum, region-ghost, region-payload",
+    )
+    camp.add_argument(
+        "--mtbf", type=float, default=64.0,
+        help="mean iterations between faults for --fault-model mtbf",
+    )
+    camp.add_argument(
+        "--burst-size", type=int, default=3,
+        help="flips per burst for --fault-model burst",
+    )
+    camp.add_argument(
+        "--burst-spread", type=int, default=1,
+        help="Chebyshev radius of the burst for --fault-model burst",
+    )
+    camp.add_argument(
+        "--bit", type=int, default=None,
+        help="pin the flipped bit position (default: uniform random)",
+    )
+    camp.add_argument(
+        "--faults-per-run", type=int, default=1,
+        help="independent faults per run for the bitflip model",
+    )
+    camp.add_argument(
         "--period", type=int, default=16,
         help="offline detection/checkpoint period",
     )
@@ -334,16 +360,31 @@ def _run_campaign_cli(args) -> int:
     from repro.experiments.report import format_seconds
     from repro.faults.campaign import CampaignConfig
     from repro.faults.engine import CampaignEngine
+    from repro.faults.models import make_fault_model
 
     tile = tuple(args.tile)
     app = make_hotspot_app(tile)
     reference = app.reference_solution(args.iterations)
     factory = make_protector_factory(args.method, period=args.period)
+    fault_model = None
+    if args.fault_model is not None:
+        params = {}
+        if args.fault_model == "mtbf":
+            params["mtbf"] = args.mtbf
+        elif args.fault_model == "burst":
+            params["burst_size"] = args.burst_size
+            params["spread"] = args.burst_spread
+        elif args.fault_model == "bitflip":
+            params["faults_per_run"] = args.faults_per_run
+        if args.bit is not None:
+            params["bit"] = args.bit
+        fault_model = make_fault_model(args.fault_model, **params)
     config = CampaignConfig(
         iterations=args.iterations,
         repetitions=args.repetitions,
         inject=(args.scenario == "single-bit-flip"),
         seed=args.seed,
+        fault_model=fault_model,
     )
     with CampaignEngine(batch_size=args.batch) as engine:
         start = time.perf_counter()
@@ -351,9 +392,11 @@ def _run_campaign_cli(args) -> int:
         elapsed = time.perf_counter() - start
         executor = engine.executor
 
+        model_name = getattr(config.resolved_fault_model(), "name", "bitflip")
         print(
             f"campaign: {tile[0]}x{tile[1]}x{tile[2]} HotSpot3D, "
-            f"{args.method}, {args.scenario}, {args.iterations} iterations x "
+            f"{args.method}, {args.scenario} (model {model_name}), "
+            f"{args.iterations} iterations x "
             f"{args.repetitions} runs (seed {args.seed})"
         )
         print(
@@ -361,6 +404,13 @@ def _run_campaign_cli(args) -> int:
             f"worker{'s' if executor.workers != 1 else ''}), "
             f"batch {engine.batch_size or 'auto'}"
         )
+        if engine.chaos is not None or engine.worker_restarts:
+            print(
+                f"resilience: chaos {engine.chaos or 'off'}, "
+                f"{engine.worker_restarts} worker-pool "
+                f"restart{'s' if engine.worker_restarts != 1 else ''} "
+                "(lost batches re-dispatched)"
+            )
         print(
             f"throughput: {args.repetitions / elapsed:.1f} runs/s "
             f"({format_seconds(elapsed)} total)"

@@ -73,6 +73,16 @@ class OfflineABFT(Protector):
     max_recovery_attempts:
         Upper bound on consecutive rollback attempts for one detection
         window (guards against persistent-fault livelock).
+    metadata_self_check:
+        Guard the protector's own state against corruption (default on).
+        The working checkpoint checksum is validated against the
+        independent copy stored with the checkpoint before every replay;
+        on mismatch it is recomputed from the checkpoint snapshot
+        instead of being trusted. Without this, a bit flip striking the
+        *stored checksum* (rather than the domain) drives futile
+        rollback/recompute cycles of perfectly healthy data until
+        ``max_recovery_attempts`` is exhausted. Repairs are counted in
+        ``total_metadata_repairs``.
     checksum_dtype:
         Accumulation dtype for checksums. Defaults to ``numpy.float64``
         so that the Δ-step replay does not itself drift past ε — a
@@ -120,6 +130,7 @@ class OfflineABFT(Protector):
         track_strips: bool = True,
         store: Optional[InMemoryCheckpointStore] = None,
         max_recovery_attempts: int = 3,
+        metadata_self_check: bool = True,
         checksum_dtype=np.float64,
         backend: BackendLike = None,
         block_steps: Optional[int] = None,
@@ -155,6 +166,7 @@ class OfflineABFT(Protector):
         self.track_strips = bool(track_strips)
         self.radius = spec.radius()
         self.max_recovery_attempts = int(max_recovery_attempts)
+        self.metadata_self_check = bool(metadata_self_check)
         self.backend = None if backend is None else get_backend(backend)
         self.store = store if store is not None else InMemoryCheckpointStore()
         if epsilon is None:
@@ -178,6 +190,7 @@ class OfflineABFT(Protector):
         self.total_detections = 0
         self.total_rollbacks = 0
         self.total_recomputed_iterations = 0
+        self.total_metadata_repairs = 0
 
     # -- construction helpers -------------------------------------------------
     @classmethod
@@ -202,10 +215,37 @@ class OfflineABFT(Protector):
         self.total_detections = 0
         self.total_rollbacks = 0
         self.total_recomputed_iterations = 0
+        self.total_metadata_repairs = 0
 
     def _checksum(self, u: np.ndarray) -> np.ndarray:
         be = self.backend if self.backend is not None else get_backend()
         return be.checksum(u, self.verify_axis, dtype=self.checksum_dtype)
+
+    def _checked_ckpt_checksum(self) -> Optional[np.ndarray]:
+        """The working checkpoint checksum, validated against its duplicate.
+
+        The checkpoint store keeps an independent copy of the checksum
+        taken with the checkpoint; a mismatch between the two means a
+        fault struck the protector's metadata, not the domain. The
+        checksum is then recomputed from the checkpoint snapshot (the
+        ground truth both copies were derived from) and both copies are
+        repaired, so a corrupted checksum never drives futile rollbacks
+        of healthy data.
+        """
+        cs = self._ckpt_checksum
+        if not self.metadata_self_check or cs is None:
+            return cs
+        ckpt = self.store.latest()
+        if ckpt is None:
+            return cs
+        dup = ckpt.checksums.get(self.verify_axis)
+        if dup is None or np.array_equal(cs, dup):
+            return cs
+        self.total_metadata_repairs += 1
+        cs = self._checksum(ckpt.snapshot.u)
+        self._ckpt_checksum = cs
+        ckpt.checksums[self.verify_axis] = cs.copy()
+        return cs
 
     def _record_strips(self, grid: GridBase) -> None:
         # ``previous_padded`` is a live view into the grid's buffer pair
@@ -238,7 +278,7 @@ class OfflineABFT(Protector):
 
     def _replay_interpolation(self) -> np.ndarray:
         """Interpolate the checkpoint checksum forward through the window."""
-        cs = self._ckpt_checksum
+        cs = self._checked_ckpt_checksum()
         for strips in self._strips:
             cs = interpolate_checksum_reduced(
                 cs,

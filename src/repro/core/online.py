@@ -89,6 +89,15 @@ class OnlineABFT(Protector):
         iterations; the refresh costs one row/column sum per corrected
         point and avoids that. Set to ``False`` to reproduce the paper's
         listing exactly.
+    metadata_self_check:
+        Guard the protector's own state against corruption (default on).
+        Every stored previous-step checksum is kept twice; before it is
+        used for interpolation the two copies are compared, and on
+        mismatch the checksum is recomputed from the still-alive
+        previous domain instead of being trusted. Without this, a bit
+        flip striking the *stored checksum* (rather than the domain)
+        triggers a one-sided detection and a bogus correction of healthy
+        data. Repairs are counted in ``total_metadata_repairs``.
     backend:
         Compute backend (registry name or instance) used for the fused
         sweep+checksum step and for any checksum the protector computes
@@ -130,6 +139,7 @@ class OnlineABFT(Protector):
         eager_row_checksum: bool = False,
         checksum_dtype=np.float64,
         refresh_checksums: bool = True,
+        metadata_self_check: bool = True,
         backend: BackendLike = None,
     ) -> None:
         if verify_axis not in (0, 1):
@@ -148,6 +158,7 @@ class OnlineABFT(Protector):
         self.correction_strategy = correction_strategy
         self.eager_row_checksum = bool(eager_row_checksum)
         self.refresh_checksums = bool(refresh_checksums)
+        self.metadata_self_check = bool(metadata_self_check)
         self.backend = None if backend is None else get_backend(backend)
         self.radius = spec.radius()
         if epsilon is None:
@@ -162,10 +173,12 @@ class OnlineABFT(Protector):
             for axis in (0, 1)
         }
         self._prev_cs = {0: None, 1: None}
+        self._prev_cs_dup = {0: None, 1: None}
         # Statistics exposed for the experiments.
         self.total_detections = 0
         self.total_corrections = 0
         self.total_uncorrected = 0
+        self.total_metadata_repairs = 0
 
     # -- construction helpers -------------------------------------------------
     @classmethod
@@ -183,13 +196,49 @@ class OnlineABFT(Protector):
     # -- protector interface ---------------------------------------------------
     def reset(self) -> None:
         self._prev_cs = {0: None, 1: None}
+        self._prev_cs_dup = {0: None, 1: None}
         self.total_detections = 0
         self.total_corrections = 0
         self.total_uncorrected = 0
+        self.total_metadata_repairs = 0
 
     def _checksum(self, u: np.ndarray, axis: int) -> np.ndarray:
         be = self.backend if self.backend is not None else get_backend()
         return be.checksum(u, axis, dtype=self.checksum_dtype)
+
+    def _store_prev_cs(self, axis: int, cs: Optional[np.ndarray]) -> None:
+        """Store a previous-step checksum (plus its self-check duplicate).
+
+        Every write to the stored checksum state must go through here —
+        the duplicate is what lets :meth:`_checked_prev_cs` notice that a
+        fault struck the metadata itself.
+        """
+        self._prev_cs[axis] = cs
+        if cs is None or not self.metadata_self_check:
+            self._prev_cs_dup[axis] = None
+        else:
+            self._prev_cs_dup[axis] = cs.copy()
+
+    def _checked_prev_cs(self, axis: int, prev_u: np.ndarray) -> np.ndarray:
+        """The stored previous-step checksum, validated against its duplicate.
+
+        On mismatch (a fault hit the stored metadata, not the domain) the
+        checksum is recomputed from the still-alive previous domain and
+        re-stored, so a corrupted checksum never drives a bogus
+        detection/correction of healthy data.
+        """
+        cs = self._prev_cs[axis]
+        dup = self._prev_cs_dup[axis]
+        if (
+            self.metadata_self_check
+            and cs is not None
+            and dup is not None
+            and not np.array_equal(cs, dup)
+        ):
+            self.total_metadata_repairs += 1
+            cs = self._checksum(prev_u, axis)
+            self._store_prev_cs(axis, cs)
+        return cs
 
     def verify_axes(self):
         """Axes whose checksums each sweep must produce for this protector."""
@@ -205,9 +254,9 @@ class OnlineABFT(Protector):
         verify, other = self.verify_axis, self.other_axis
         # Initial checksums (step t=0 data assumed correct, as in Theorem 2).
         if self._prev_cs[verify] is None:
-            self._prev_cs[verify] = self._checksum(grid.u, verify)
+            self._store_prev_cs(verify, self._checksum(grid.u, verify))
             if self.eager_row_checksum:
-                self._prev_cs[other] = self._checksum(grid.u, other)
+                self._store_prev_cs(other, self._checksum(grid.u, other))
 
         if inject is None and hasattr(grid, "step_with_checksums"):
             # Fault-free fast path: the sweep produces the verified
@@ -271,12 +320,14 @@ class OnlineABFT(Protector):
             )
         verify, other = self.verify_axis, self.other_axis
         if self._prev_cs[verify] is None:
-            self._prev_cs[verify] = self._checksum(
-                interior_view(padded_prev, self.radius), verify
+            self._store_prev_cs(
+                verify,
+                self._checksum(interior_view(padded_prev, self.radius), verify),
             )
             if self.eager_row_checksum:
-                self._prev_cs[other] = self._checksum(
-                    interior_view(padded_prev, self.radius), other
+                self._store_prev_cs(
+                    other,
+                    self._checksum(interior_view(padded_prev, self.radius), other),
                 )
         prev_u = interior_view(padded_prev, self.radius)
         grid_u = u_new
@@ -287,7 +338,7 @@ class OnlineABFT(Protector):
         else:
             cs_comp = self._checksum(grid_u, verify)
         cs_interp = interpolate_checksum_padded(
-            self._prev_cs[verify],
+            self._checked_prev_cs(verify, prev_u),
             padded_prev,
             self.spec,
             self.radius,
@@ -315,7 +366,11 @@ class OnlineABFT(Protector):
             self.total_detections += detection.n_errors
             # Lazily build the second checksum pair: previous-step checksum
             # from the still-alive previous domain, current from the new one.
-            other_prev = self._prev_cs[other]
+            other_prev = (
+                self._checked_prev_cs(other, prev_u)
+                if self._prev_cs[other] is not None
+                else None
+            )
             if other_prev is None:
                 other_prev = self._checksum(prev_u, other)
             if other_comp is None:
@@ -362,11 +417,8 @@ class OnlineABFT(Protector):
             if self.refresh_checksums and records:
                 self._refresh_entries(grid_u, records, a_comp, b_comp)
 
-        self._prev_cs[verify] = cs_comp
-        if self.eager_row_checksum:
-            self._prev_cs[other] = other_comp
-        else:
-            self._prev_cs[other] = None
+        self._store_prev_cs(verify, cs_comp)
+        self._store_prev_cs(other, other_comp if self.eager_row_checksum else None)
         return report
 
     def _refresh_entries(self, u: np.ndarray, records, a_comp, b_comp) -> None:

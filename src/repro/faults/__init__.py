@@ -13,6 +13,16 @@ This subpackage reproduces that fault model:
     :class:`FaultPlan` (a concrete fault to inject) and
     :class:`FaultInjector` (the step hook that fires it at the right
     iteration).
+``models``
+    Pluggable fault models beyond the paper's single flip:
+    :class:`~repro.faults.models.MultiBitBurst`,
+    :class:`~repro.faults.models.PoissonArrival` (MTBF-driven arrival
+    across iterations and ranks) and
+    :class:`~repro.faults.models.RegionTargeted` corruption striking
+    ghosts, stored checksums and in-flight halo payloads, plus the
+    hooks that deliver them
+    (:func:`~repro.faults.models.make_injector`,
+    :class:`~repro.faults.models.DistributedFaultInjector`).
 ``campaign``
     Orchestration of repeated runs with independent random faults and
     aggregation of the timing/accuracy statistics the paper reports
@@ -34,7 +44,26 @@ from repro.faults.bitflip import (
     fraction_bits,
     sign_bit,
 )
-from repro.faults.injector import FaultPlan, FaultInjector, random_fault_plan
+from repro.faults.injector import (
+    FaultPlan,
+    FaultInjector,
+    random_fault_plan,
+    validate_plan_index,
+)
+from repro.faults.models import (
+    FaultModel,
+    SingleBitFlip,
+    MultiBitBurst,
+    PoissonArrival,
+    RegionTargeted,
+    register_fault_model,
+    make_fault_model,
+    available_fault_models,
+    ChecksumInjector,
+    CompositeInjector,
+    make_injector,
+    DistributedFaultInjector,
+)
 from repro.faults.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -55,6 +84,19 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "random_fault_plan",
+    "validate_plan_index",
+    "FaultModel",
+    "SingleBitFlip",
+    "MultiBitBurst",
+    "PoissonArrival",
+    "RegionTargeted",
+    "register_fault_model",
+    "make_fault_model",
+    "available_fault_models",
+    "ChecksumInjector",
+    "CompositeInjector",
+    "make_injector",
+    "DistributedFaultInjector",
     "CampaignConfig",
     "CampaignResult",
     "RunRecord",

@@ -24,7 +24,8 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.protector import Protector
-from repro.faults.injector import FaultInjector, FaultPlan, random_fault_plan
+from repro.faults.injector import FaultPlan
+from repro.faults.models import FaultModel, SingleBitFlip, make_injector
 from repro.metrics.accuracy import l2_error
 from repro.metrics.statistics import SummaryStats, summarize
 from repro.stencil.grid import GridBase
@@ -63,6 +64,12 @@ class CampaignConfig:
     seed:
         Base seed; run ``i`` uses ``seed + i`` so campaigns are fully
         reproducible and runs are independent.
+    fault_model:
+        The :class:`~repro.faults.models.FaultModel` drawing each run's
+        plans.  ``None`` (the default) resolves to
+        :class:`~repro.faults.models.SingleBitFlip` built from
+        ``faults_per_run``/``bit`` — the legacy paper model, with RNG
+        draws bit-identical to the historical loop.
     """
 
     iterations: int
@@ -71,6 +78,7 @@ class CampaignConfig:
     bit: Optional[int] = None
     faults_per_run: int = 1
     seed: int = 0
+    fault_model: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -79,6 +87,19 @@ class CampaignConfig:
             raise ValueError("repetitions must be >= 1")
         if self.faults_per_run < 1:
             raise ValueError("faults_per_run must be >= 1")
+        if self.fault_model is not None and not isinstance(
+            self.fault_model, FaultModel
+        ):
+            raise TypeError(
+                f"fault_model must be a FaultModel, got "
+                f"{type(self.fault_model).__name__}"
+            )
+
+    def resolved_fault_model(self) -> FaultModel:
+        """The effective model: explicit, else the legacy single-bit-flip."""
+        if self.fault_model is not None:
+            return self.fault_model
+        return SingleBitFlip(faults_per_run=self.faults_per_run, bit=self.bit)
 
 
 @dataclass
@@ -297,25 +318,23 @@ def run_campaign(
     warmup_protector = protector_factory(sample_grid)
     warmup_protector.run(sample_grid, min(3, config.iterations))
 
+    fault_model = config.resolved_fault_model()
     for run_index in range(config.repetitions):
         grid = grid_factory()
         protector = protector_factory(grid)
         protector.reset()
 
-        injector: Optional[FaultInjector] = None
+        injector = None
         plan: Optional[FaultPlan] = None
         plans: List[FaultPlan] = []
         if config.inject:
             rng = np.random.default_rng(config.seed + run_index)
-            plans = [
-                random_fault_plan(
-                    rng, grid.shape, config.iterations, dtype=grid.dtype,
-                    bit=config.bit,
-                )
-                for _ in range(config.faults_per_run)
-            ]
-            plan = plans[0]
-            injector = FaultInjector(plans)
+            plans = fault_model.draw(
+                rng, grid.shape, config.iterations, dtype=grid.dtype
+            )
+            # MTBF-style models legitimately draw no fault for a run.
+            plan = plans[0] if plans else None
+            injector = make_injector(plans, protector)
 
         start = time.perf_counter()
         run_report = protector.run(grid, config.iterations, inject=injector)

@@ -70,12 +70,14 @@ zero-allocation property and the throughput gain in CI.
 
 from __future__ import annotations
 
+import concurrent.futures
 import hashlib
+import os
 import pickle
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -92,7 +94,8 @@ from repro.faults.campaign import (
     compute_reference,
     resolve_run_counters,
 )
-from repro.faults.injector import FaultInjector, FaultPlan, random_fault_plan
+from repro.faults.injector import FaultPlan
+from repro.faults.models import make_injector
 from repro.parallel.executor import make_executor
 from repro.stencil.boundary import BoundaryCondition, BoundarySpec
 from repro.stencil.doublebuffer import DoubleBufferedGrid
@@ -104,6 +107,22 @@ __all__ = [
     "draw_fault_plans",
     "stacked_supported",
 ]
+
+#: Environment variable arming chaos injection into the engine's own
+#: worker pool (``worker-kill`` | ``worker-hang``): one pool worker is
+#: sacrificed mid-campaign to exercise the detect/restart/re-dispatch
+#: path.  Only ever honoured on the process executor.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Environment variable setting the per-dispatch worker timeout (seconds).
+WORKER_TIMEOUT_ENV_VAR = "REPRO_WORKER_TIMEOUT"
+
+#: Chaos modes the engine understands.
+_CHAOS_MODES = ("worker-kill", "worker-hang")
+
+#: Timeout armed automatically when a hang is being injected and the
+#: caller set none — a hung worker must not stall the campaign forever.
+_DEFAULT_CHAOS_TIMEOUT = 30.0
 
 #: Per-worker campaign states kept alive between batches (the whole
 #: point of the engine).  Bounded so a long-lived pool sweeping many
@@ -131,24 +150,23 @@ def draw_fault_plans(
 ) -> List[List[FaultPlan]]:
     """Pre-draw every run's fault plans with the legacy ``seed + i`` scheme.
 
-    Returns one (possibly empty) plan list per run.  The draws replicate
-    :func:`repro.faults.campaign.run_campaign` exactly — one fresh
-    ``default_rng(seed + run_index)`` per run, ``faults_per_run`` plans
-    from it — so engine campaigns inject bit-for-bit the same faults as
-    the legacy loop.
+    Returns one (possibly empty) plan list per run, drawn from the
+    campaign's resolved :class:`~repro.faults.models.FaultModel`.  The
+    draws replicate :func:`repro.faults.campaign.run_campaign` exactly —
+    one fresh ``default_rng(seed + run_index)`` per run, the model's
+    plans from it — so engine campaigns inject bit-for-bit the same
+    faults as the legacy loop (for the default single-bit-flip model
+    this is byte-identical to the historical ``random_fault_plan``
+    loop).
     """
     if not config.inject:
         return [[] for _ in range(config.repetitions)]
+    fault_model = config.resolved_fault_model()
     plans: List[List[FaultPlan]] = []
     for run_index in range(config.repetitions):
         rng = np.random.default_rng(config.seed + run_index)
         plans.append(
-            [
-                random_fault_plan(
-                    rng, shape, config.iterations, dtype=dtype, bit=config.bit
-                )
-                for _ in range(config.faults_per_run)
-            ]
+            fault_model.draw(rng, shape, config.iterations, dtype=dtype)
         )
     return plans
 
@@ -237,6 +255,12 @@ class _BatchTask:
     #: Caller requested the replay strategy even where stacking is
     #: eligible (per-run timing fidelity; see ``CampaignEngine.run``).
     force_replay: bool = False
+    #: Chaos marker (``worker-kill`` | ``worker-hang``): the worker that
+    #: picks this batch up sabotages itself before running it, so the
+    #: engine's failure detection and re-dispatch can be exercised end
+    #: to end.  Only ever set by the engine on the process executor, and
+    #: stripped when the lost batch is re-dispatched.
+    chaos: Optional[str] = None
 
 
 class _StackedBatch:
@@ -414,8 +438,11 @@ class _StackedBatch:
                     # same decision the screen made), and corrections
                     # write back into the stacked pair through the view.
                     protector.reset()
-                    protector._prev_cs[verify] = np.ascontiguousarray(
-                        prev_cs[..., slot]
+                    # Route through the protector's store helper so its
+                    # duplicated-checksum self-check state stays
+                    # consistent with the seeded checksum.
+                    protector._store_prev_cs(
+                        verify, np.ascontiguousarray(prev_cs[..., slot])
                     )
                     report = protector.process(
                         interior[..., slot], self.pair.back[..., slot], t
@@ -522,7 +549,18 @@ class _WorkerCampaign:
         return float(np.sqrt(np.sum(self._diff64)))
 
     def execute(self, task: _BatchTask) -> List[Tuple]:
-        if task.hooks is None and not task.force_replay and self.use_stacked:
+        # The stacked fast path only knows how to flip domain values;
+        # checksum/ghost/payload-targeted plans replay through the full
+        # protector machinery they attack.
+        only_domain = all(
+            p.target == "domain" for run_plans in task.plans for p in run_plans
+        )
+        if (
+            task.hooks is None
+            and not task.force_replay
+            and only_domain
+            and self.use_stacked
+        ):
             return self._execute_stacked(task)
         return self._execute_replay(task)
 
@@ -551,7 +589,7 @@ class _WorkerCampaign:
             if task.hooks is not None:
                 hook = task.hooks[slot]
             else:
-                hook = FaultInjector(list(run_plans)) if run_plans else None
+                hook = make_injector(list(run_plans), self.protector)
             start = time.perf_counter()
             report = self.protector.run(
                 self.grid, self.config.iterations, inject=hook
@@ -568,6 +606,22 @@ class _WorkerCampaign:
 _WORKER_LOCAL = threading.local()
 
 
+def _trigger_chaos(mode: str) -> None:
+    """Sabotage this worker process (chaos testing of the dispatch loop).
+
+    Only ever reached inside a process-pool worker — the engine refuses
+    to set chaos markers on the serial/thread executors, where an
+    ``os._exit`` would take the parent (or the whole test process) down
+    with it.
+    """
+    if mode == "worker-kill":
+        os._exit(43)
+    if mode == "worker-hang":
+        time.sleep(3600)
+        return
+    raise ValueError(f"unknown chaos mode {mode!r}; expected {_CHAOS_MODES}")
+
+
 def _execute_batch(task: _BatchTask) -> List[Tuple]:
     """Worker entry point: resolve (or build) the cached state, run one batch.
 
@@ -575,6 +629,8 @@ def _execute_batch(task: _BatchTask) -> List[Tuple]:
     cache is thread-local so the thread executor's workers never share
     mutable campaign state.
     """
+    if task.chaos is not None:
+        _trigger_chaos(task.chaos)
     cache: Dict[str, _WorkerCampaign] = getattr(_WORKER_LOCAL, "cache", None)
     if cache is None:
         cache = _WORKER_LOCAL.cache = {}
@@ -619,6 +675,28 @@ class CampaignEngine:
         and by an even split across the workers).  Batch size affects
         scheduling and the stacked width only — records are
         bitwise-independent of it.
+    worker_timeout:
+        Seconds to wait for each dispatched wave of batches on the
+        process executor before declaring the stragglers hung,
+        restarting the pool and re-dispatching them (``None`` → wait
+        forever, unless a hang is being chaos-injected, in which case a
+        default timeout is armed; also settable via
+        ``REPRO_WORKER_TIMEOUT``).  Timeouts never change records: a
+        re-dispatched batch replays the same pre-drawn plans.
+    max_dispatch_attempts:
+        Upper bound on dispatch waves for one campaign (first attempt
+        included) before the engine gives up with a ``RuntimeError`` —
+        the guard against a factory that crashes every worker it
+        touches.
+    chaos:
+        Chaos-testing mode (``"worker-kill"`` | ``"worker-hang"``;
+        also settable via ``REPRO_CHAOS``): one batch per campaign is
+        marked so the pool worker that picks it up kills or hangs
+        itself, exercising the detect/restart/re-dispatch path.
+        Honoured on the process executor only — records must stay
+        bitwise-identical to an undisturbed run, which
+        :attr:`worker_restarts` (incremented per pool restart) makes
+        observable.
 
     Notes
     -----
@@ -637,10 +715,37 @@ class CampaignEngine:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         batch_size: Optional[int] = None,
+        worker_timeout: Optional[float] = None,
+        max_dispatch_attempts: int = 3,
+        chaos: Optional[str] = None,
     ) -> None:
         self._kind = executor
         self._workers = workers
         self.batch_size = None if batch_size is None else max(1, int(batch_size))
+        if worker_timeout is None:
+            env = os.environ.get(WORKER_TIMEOUT_ENV_VAR)
+            if env:
+                worker_timeout = float(env)
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ValueError("worker_timeout must be > 0 seconds")
+        self.worker_timeout = worker_timeout
+        self.max_dispatch_attempts = max(1, int(max_dispatch_attempts))
+        if chaos is None:
+            chaos = os.environ.get(CHAOS_ENV_VAR) or None
+        if chaos is not None and str(chaos).lower() in ("off", "none", "0"):
+            # Explicit disable: lets a caller pin an undisturbed engine
+            # even when REPRO_CHAOS is set in the environment (the chaos
+            # smoke benchmark compares exactly such a pair).
+            chaos = None
+        if chaos is not None and chaos not in _CHAOS_MODES:
+            raise ValueError(
+                f"unknown chaos mode {chaos!r}; expected one of {_CHAOS_MODES}"
+            )
+        self.chaos = chaos
+        #: Pool restarts performed after a worker death/hang (cumulative
+        #: across :meth:`run` calls) — the observable proof that a chaos
+        #: run actually lost and re-dispatched a batch.
+        self.worker_restarts = 0
         self._executor = None
         # Campaign metadata keyed by the factory pair *by value* (bound
         # methods and the experiment factory dataclasses hash/compare by
@@ -830,22 +935,8 @@ class CampaignEngine:
         executor = self.executor
         if executor.kind == "process":
             self._check_picklable(tasks[0])
-            # One contiguous task group per worker: the shared payload
-            # pickles once per group (pickle memoisation), not per batch.
-            workers = max(1, getattr(executor, "workers", 1) or 1)
-            n_groups = min(workers, len(tasks))
-            base, extra = divmod(len(tasks), n_groups)
-            groups: List[List[_BatchTask]] = []
-            start_idx = 0
-            for g in range(n_groups):
-                size = base + (1 if g < extra else 0)
-                groups.append(tasks[start_idx:start_idx + size])
-                start_idx += size
-            batches = [
-                rows
-                for group_rows in executor.map(_execute_batch_group, groups)
-                for rows in group_rows
-            ]
+            rows_by_task = self._dispatch_process(executor, tasks)
+            batches = [rows_by_task[i] for i in range(len(tasks))]
         else:
             batches = executor.map(_execute_batch, tasks)
 
@@ -871,6 +962,90 @@ class CampaignEngine:
                     )
                 )
         return result
+
+    def _dispatch_process(
+        self, executor, tasks: Sequence[_BatchTask]
+    ) -> Dict[int, List[Tuple]]:
+        """Supervised dispatch to the process pool, resilient to worker loss.
+
+        Each wave submits the still-pending batches as one contiguous
+        task group per worker (the shared campaign payload pickles once
+        per group) and supervises the futures directly: results of
+        groups that completed are banked even when a sibling group's
+        worker died (a dead worker breaks the whole
+        ``ProcessPoolExecutor``, failing every outstanding future) or
+        hung past ``worker_timeout``.  The pool is then restarted and
+        only the lost batches are re-dispatched — with any chaos marker
+        stripped, so an injected failure strikes exactly once.  Records
+        are bitwise-independent of all of this: batches carry their
+        pre-drawn plans, and a re-run of a batch is deterministic.
+        """
+        pending: Dict[int, _BatchTask] = dict(enumerate(tasks))
+        if self.chaos is not None and pending:
+            victim = len(tasks) // 2
+            pending[victim] = replace(pending[victim], chaos=self.chaos)
+        results: Dict[int, List[Tuple]] = {}
+        attempts = 0
+        while pending:
+            attempts += 1
+            if attempts > self.max_dispatch_attempts:
+                raise RuntimeError(
+                    f"{len(pending)} campaign batches still undone after "
+                    f"{self.max_dispatch_attempts} dispatch attempts "
+                    f"({self.worker_restarts} pool restarts so far): the "
+                    f"worker pool keeps dying or hanging — check that the "
+                    f"campaign factories are sound before raising "
+                    f"max_dispatch_attempts"
+                )
+            indices = sorted(pending)
+            workers = max(1, getattr(executor, "workers", 1) or 1)
+            n_groups = min(workers, len(indices))
+            base, extra = divmod(len(indices), n_groups)
+            groups: List[List[int]] = []
+            start_idx = 0
+            for g in range(n_groups):
+                size = base + (1 if g < extra else 0)
+                groups.append(indices[start_idx:start_idx + size])
+                start_idx += size
+            timeout = self.worker_timeout
+            if timeout is None and any(
+                t.chaos == "worker-hang" for t in pending.values()
+            ):
+                timeout = _DEFAULT_CHAOS_TIMEOUT
+            futures = {
+                executor.submit(
+                    _execute_batch_group, [pending[i] for i in group]
+                ): group
+                for group in groups
+            }
+            done, not_done = concurrent.futures.wait(futures, timeout=timeout)
+            wave_failed = bool(not_done)
+            for future in done:
+                group = futures[future]
+                try:
+                    group_rows = future.result()
+                except Exception:
+                    # BrokenProcessPool (a sibling's worker died) or the
+                    # group's own worker crashed; its batches stay
+                    # pending for the next wave.
+                    wave_failed = True
+                    continue
+                for task_index, rows in zip(group, group_rows):
+                    results[task_index] = rows
+                    pending.pop(task_index, None)
+            if pending and wave_failed:
+                self.worker_restarts += 1
+                restart = getattr(executor, "restart", None)
+                if restart is not None:
+                    restart()
+                # The injected failure already struck (its worker died or
+                # hung with the marked batch in hand); the re-dispatched
+                # batches must run clean.
+                pending = {
+                    i: replace(t, chaos=None) if t.chaos is not None else t
+                    for i, t in pending.items()
+                }
+        return results
 
     @staticmethod
     def _check_picklable(task: _BatchTask) -> None:

@@ -21,7 +21,35 @@ import numpy as np
 from repro.faults.bitflip import bit_width, flip_bit_in_array
 from repro.stencil.grid import GridBase
 
-__all__ = ["FaultPlan", "FaultInjector", "random_fault_plan"]
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "random_fault_plan",
+    "validate_plan_index",
+]
+
+
+def validate_plan_index(plan: "FaultPlan", shape: Sequence[int]) -> None:
+    """Check a plan's index against the targeted array's shape.
+
+    Raises a :class:`ValueError` naming the offending plan instead of
+    letting an out-of-range index surface as a raw numpy ``IndexError``
+    (or, worse, silently wrap around for negative components) deep in
+    the injection hook.
+    """
+    shape = tuple(int(n) for n in shape)
+    if len(plan.index) != len(shape):
+        raise ValueError(
+            f"fault index {plan.index} does not match domain "
+            f"dimensionality {len(shape)}"
+        )
+    for d, (i, n) in enumerate(zip(plan.index, shape)):
+        if not 0 <= i < n:
+            raise ValueError(
+                f"fault plan (iteration={plan.iteration}, target="
+                f"{plan.target!r}) index {plan.index} is out of range "
+                f"along axis {d}: {i} not in [0, {n}) for shape {shape}"
+            )
 
 
 @dataclass
@@ -34,23 +62,64 @@ class FaultPlan:
         1-based sweep number during which the corruption strikes (the
         value ``grid.iteration`` has right after that sweep).
     index:
-        Domain index of the corrupted point.
+        Domain index of the corrupted point (or, for non-``domain``
+        targets, an index into the targeted structure — see ``target``).
     bit:
         Bit position flipped in the point's binary representation.
+    target:
+        What structure the corruption strikes. ``"domain"`` (the
+        default, the paper's Section 5.1 model) flips a bit in a domain
+        value. ``"checksum"`` flips a bit in the protector's *stored*
+        checksum vector for axis ``axis`` (``index`` indexes that
+        vector). ``"ghost"`` flips a bit in a just-ingested ghost slab
+        of a distributed rank (``axis``/``side`` select the slab,
+        ``index`` the point within it). ``"payload"`` corrupts an
+        in-flight :class:`~repro.parallel.simmpi.SimChannel` message
+        (``index[0]`` is the flat element offset within the payload).
+    axis:
+        Checksum/halo axis for the ``checksum`` and ``ghost`` targets.
+    side:
+        Halo side (``0`` = low, ``1`` = high) for the ``ghost`` and
+        ``payload`` targets.
+    action:
+        In-flight action for the ``payload`` target: ``"corrupt"``
+        (default, a bit flip the channel CRC detects) or ``"drop"``.
     """
+
+    TARGETS = ("domain", "checksum", "ghost", "payload")
 
     iteration: int
     index: Tuple[int, ...]
     bit: int
+    target: str = "domain"
+    axis: int = 0
+    side: int = 0
+    action: str = "corrupt"
 
     def __post_init__(self) -> None:
         self.iteration = int(self.iteration)
         self.index = tuple(int(i) for i in self.index)
         self.bit = int(self.bit)
+        self.target = str(self.target)
+        self.axis = int(self.axis)
+        self.side = int(self.side)
+        self.action = str(self.action)
         if self.iteration < 1:
             raise ValueError("fault iterations are 1-based; got iteration < 1")
         if self.bit < 0:
             raise ValueError("bit position must be non-negative")
+        if self.target not in self.TARGETS:
+            raise ValueError(
+                f"unknown fault target {self.target!r}; expected one of "
+                f"{self.TARGETS}"
+            )
+        if self.side not in (0, 1):
+            raise ValueError("halo side must be 0 (low) or 1 (high)")
+        if self.action not in ("corrupt", "drop"):
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected 'corrupt' "
+                f"or 'drop'"
+            )
 
 
 def random_fault_plan(
@@ -119,11 +188,13 @@ class FaultInjector:
         for i, plan in enumerate(self.plans):
             if self._fired[i] or plan.iteration != iteration:
                 continue
-            if len(plan.index) != grid.ndim:
+            if plan.target != "domain":
                 raise ValueError(
-                    f"fault index {plan.index} does not match domain "
-                    f"dimensionality {grid.ndim}"
+                    f"FaultInjector only fires 'domain' plans; got a "
+                    f"{plan.target!r} plan (use repro.faults.models."
+                    f"make_injector to route non-domain targets)"
                 )
+            validate_plan_index(plan, grid.shape)
             old, new = flip_bit_in_array(grid.u, plan.index, plan.bit)
             self._fired[i] = True
             self.injections.append((plan, old, new))

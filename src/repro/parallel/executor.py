@@ -204,6 +204,40 @@ class ProcessPoolTileExecutor:
         pool = self._ensure_pool()
         return list(pool.map(fn, items))
 
+    def submit(self, fn: Callable[..., R], *args, **kwargs):
+        """Submit one task; returns the pool's ``concurrent.futures.Future``.
+
+        The future-based interface lets a caller supervise in-flight
+        work — collect completed results even when a sibling task's
+        worker died, time out hung workers, and re-dispatch the losses
+        after a :meth:`restart` (the campaign engine's worker-failure
+        resilience is built on exactly this).
+        """
+        return self._ensure_pool().submit(fn, *args, **kwargs)
+
+    def restart(self) -> None:
+        """Tear down a (possibly broken) pool so the next task gets a fresh one.
+
+        A worker process that dies mid-task breaks the whole
+        ``ProcessPoolExecutor`` — every outstanding future fails and the
+        pool refuses new work.  ``shutdown(wait=True)`` on such a pool
+        can block on a worker that is hung rather than dead, so the
+        teardown is non-blocking: cancel what never started, terminate
+        any worker still alive, and drop the pool reference.  The next
+        :meth:`submit`/:meth:`map` builds a fresh pool on demand.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        processes = list(getattr(pool, "_processes", {}).values() or [])
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in processes:
+            proc.join(timeout=5)
+
     def map_tiles(self, tasks: Sequence) -> List[Tuple]:
         """Run shared-memory :class:`~repro.parallel.shm.TileTask` items.
 

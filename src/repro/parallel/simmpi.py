@@ -11,7 +11,13 @@ deterministic stand-in:
 * :class:`SimChannel` — an in-memory mailbox with ``send``/``recv``
   keyed by (source, destination, tag); payloads are copied on send, so
   ranks cannot share memory by accident.  Message and byte counts are
-  tracked globally and per tag for the weak-scaling benchmark.
+  tracked globally and per tag for the weak-scaling benchmark.  Every
+  payload carries a CRC32: in-flight corruption and drops (scheduled
+  through :meth:`SimChannel.schedule_fault`, e.g. by the
+  ``region-targeted`` fault models) are detected at receive time and
+  recovered by retransmission from the sender-side retention copy,
+  with per-tag drop/corrupt/retransmit accounting — the standard
+  link-level protection real interconnects provide underneath MPI.
 * :class:`SimRank` — one rank's state: a persistent padded
   :class:`~repro.stencil.doublebuffer.DoubleBufferedGrid` pair holding
   its contiguous block of the domain (split along the chosen
@@ -36,7 +42,9 @@ communication structure matches a 1D-decomposed MPI stencil code.
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -56,7 +64,7 @@ from repro.stencil.doublebuffer import DoubleBufferedGrid
 from repro.stencil.grid import GridBase
 from repro.stencil.spec import StencilSpec
 
-__all__ = ["SimChannel", "SimRank", "DistributedStencilRunner"]
+__all__ = ["ChannelError", "SimChannel", "SimRank", "DistributedStencilRunner"]
 
 #: Default axis along which the domain is distributed across ranks.
 #: :class:`DistributedStencilRunner` accepts any axis via ``axis=`` —
@@ -64,8 +72,32 @@ __all__ = ["SimChannel", "SimRank", "DistributedStencilRunner"]
 DISTRIBUTED_AXIS = 0
 
 
+class ChannelError(RuntimeError):
+    """A receive could not be satisfied (empty mailbox or unrecoverable loss).
+
+    Subclasses :class:`RuntimeError` so existing callers that guarded the
+    old generic error keep working.
+    """
+
+
+@dataclass
+class _Message:
+    """One in-flight message: the wire copy plus integrity metadata.
+
+    ``payload`` is what travels (and what scheduled faults mutate);
+    ``pristine`` is the sender-side retention copy used for
+    retransmission; ``crc`` is the CRC32 of the payload as it was sent.
+    When no fault struck, ``payload`` *is* ``pristine`` (no extra copy).
+    """
+
+    payload: np.ndarray
+    pristine: np.ndarray
+    crc: int
+    dropped: bool = False
+
+
 class SimChannel:
-    """In-memory point-to-point message mailbox.
+    """In-memory point-to-point message mailbox with link-level integrity.
 
     Messages are addressed by ``(source, destination, tag)`` and consumed
     in FIFO order per address (an O(1) ``deque.popleft`` per receive).
@@ -74,35 +106,143 @@ class SimChannel:
     (``messages_sent``/``bytes_sent``) and per tag
     (``messages_by_tag``/``bytes_by_tag``) — the weak-scaling benchmark
     reports the per-tag breakdown.
+
+    Parameters
+    ----------
+    integrity:
+        Verify a CRC32 per payload at receive time (default on). A
+        corrupted payload is detected and recovered by "retransmission"
+        from the sender-side retention copy; a dropped message is
+        likewise detected and retransmitted. Both are counted per tag
+        (``corrupted_by_tag``/``dropped_by_tag``/
+        ``retransmitted_by_tag``). With ``integrity=False`` corruption
+        passes through silently and a drop raises :class:`ChannelError`
+        — the unprotected-wire baseline the hardening tests compare
+        against.
+
+    Notes
+    -----
+    In-flight faults are scheduled with :meth:`schedule_fault` against
+    the 1-based *global send ordinal* (the n-th ``send`` on this
+    channel), which is how the ``payload``-targeted fault models address
+    a specific halo message deterministically.
     """
 
-    def __init__(self) -> None:
-        self._mailboxes: Dict[Tuple[int, int, str], Deque[np.ndarray]] = {}
+    def __init__(self, integrity: bool = True) -> None:
+        self._mailboxes: Dict[Tuple[int, int, str], Deque[_Message]] = {}
+        self.integrity = bool(integrity)
+        self._send_ordinal = 0
+        self._scheduled: Dict[int, Tuple[str, Tuple[int, ...], int]] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
+        self.messages_corrupted = 0
+        self.messages_retransmitted = 0
         self.messages_by_tag: Dict[str, int] = {}
         self.bytes_by_tag: Dict[str, int] = {}
+        self.dropped_by_tag: Dict[str, int] = {}
+        self.corrupted_by_tag: Dict[str, int] = {}
+        self.retransmitted_by_tag: Dict[str, int] = {}
+
+    # -- fault surface ---------------------------------------------------------
+    def schedule_fault(
+        self,
+        ordinal: int,
+        action: str = "corrupt",
+        index: Tuple[int, ...] = (0,),
+        bit: int = 0,
+    ) -> None:
+        """Arm an in-flight fault against the ``ordinal``-th future send.
+
+        ``action`` is ``"corrupt"`` (flip ``bit`` of the payload element
+        at flat offset ``index[0]``) or ``"drop"`` (the wire loses the
+        message). The fault strikes the in-flight copy only — the
+        sender-side retention copy stays pristine, which is what makes
+        detect-and-retransmit recovery possible.
+        """
+        ordinal = int(ordinal)
+        if ordinal < 1:
+            raise ValueError("send ordinals are 1-based; got ordinal < 1")
+        if ordinal <= self._send_ordinal:
+            raise ValueError(
+                f"send ordinal {ordinal} already passed "
+                f"({self._send_ordinal} messages sent)"
+            )
+        if action not in ("corrupt", "drop"):
+            raise ValueError(
+                f"unknown in-flight fault action {action!r}; "
+                "expected 'corrupt' or 'drop'"
+            )
+        self._scheduled[ordinal] = (action, tuple(int(i) for i in index), int(bit))
+
+    def _count(self, counters: Dict[str, int], tag: str) -> None:
+        counters[tag] = counters.get(tag, 0) + 1
 
     def send(self, source: int, dest: int, tag: str, payload: np.ndarray) -> None:
         tag = str(tag)
         key = (int(source), int(dest), tag)
+        pristine = np.array(payload, copy=True)
+        crc = zlib.crc32(pristine.tobytes())
+        self._send_ordinal += 1
+        fault = self._scheduled.pop(self._send_ordinal, None)
+        wire = pristine
+        dropped = False
+        if fault is not None:
+            action, index, bit = fault
+            if action == "drop":
+                dropped = True
+                self.messages_dropped += 1
+                self._count(self.dropped_by_tag, tag)
+            else:
+                offset = index[0] if index else 0
+                if not 0 <= offset < pristine.size:
+                    raise ValueError(
+                        f"in-flight corruption offset {offset} out of range "
+                        f"for a payload of {pristine.size} elements "
+                        f"(tag {tag!r}, rank {source} -> rank {dest})"
+                    )
+                wire = pristine.copy()
+                from repro.faults.bitflip import flip_bit_in_array
+
+                flip_bit_in_array(wire.reshape(-1), (offset,), bit)
+                self.messages_corrupted += 1
+                self._count(self.corrupted_by_tag, tag)
         self._mailboxes.setdefault(key, deque()).append(
-            np.array(payload, copy=True)
+            _Message(payload=wire, pristine=pristine, crc=crc, dropped=dropped)
         )
-        nbytes = int(np.asarray(payload).nbytes)
+        nbytes = int(pristine.nbytes)
         self.messages_sent += 1
         self.bytes_sent += nbytes
         self.messages_by_tag[tag] = self.messages_by_tag.get(tag, 0) + 1
         self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + nbytes
 
     def recv(self, source: int, dest: int, tag: str) -> np.ndarray:
-        key = (int(source), int(dest), str(tag))
+        tag = str(tag)
+        key = (int(source), int(dest), tag)
         queue = self._mailboxes.get(key)
         if not queue:
-            raise RuntimeError(
-                f"no message from rank {source} to rank {dest} with tag {tag!r}"
+            raise ChannelError(
+                f"no message from rank {source} to rank {dest} with tag "
+                f"{tag!r}: the mailbox is empty (was the halo posted this "
+                f"iteration?)"
             )
-        return queue.popleft()
+        msg = queue.popleft()
+        if msg.dropped:
+            if not self.integrity:
+                raise ChannelError(
+                    f"no message from rank {source} to rank {dest} with tag "
+                    f"{tag!r}: the payload was dropped in flight and "
+                    f"integrity tracking is disabled (no retransmission)"
+                )
+            self.messages_retransmitted += 1
+            self._count(self.retransmitted_by_tag, tag)
+            return msg.pristine
+        if self.integrity and msg.payload is not msg.pristine:
+            if zlib.crc32(msg.payload.tobytes()) != msg.crc:
+                self.messages_retransmitted += 1
+                self._count(self.retransmitted_by_tag, tag)
+                return msg.pristine
+        return msg.payload
 
     def pending(self) -> int:
         """Number of messages posted but not yet received."""
@@ -113,8 +253,14 @@ class SimChannel:
         return {
             "messages_sent": self.messages_sent,
             "bytes_sent": self.bytes_sent,
+            "messages_dropped": self.messages_dropped,
+            "messages_corrupted": self.messages_corrupted,
+            "messages_retransmitted": self.messages_retransmitted,
             "messages_by_tag": dict(self.messages_by_tag),
             "bytes_by_tag": dict(self.bytes_by_tag),
+            "dropped_by_tag": dict(self.dropped_by_tag),
+            "corrupted_by_tag": dict(self.corrupted_by_tag),
+            "retransmitted_by_tag": dict(self.retransmitted_by_tag),
         }
 
 
@@ -403,9 +549,15 @@ class DistributedStencilRunner:
         self.iteration += 1
         backend = self.backend
 
+        # Region-targeted hooks may corrupt a just-ingested ghost slab —
+        # after halo ingestion, before the sweep reads it.
+        ghost_hook = getattr(inject, "inject_ghosts", None)
+
         reports: List[StepReport] = []
         for rank in self.ranks:
             self._ingest_halos(rank)
+            if ghost_hook is not None:
+                ghost_hook(self, self.iteration, rank)
             protector = rank.protector
             if protector is not None and inject is None:
                 # Fault-free fast path: the fused backend step produces

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.faults.injector import FaultInjector, FaultPlan, random_fault_plan
+from repro.faults.injector import (
+    FaultInjector,
+    FaultPlan,
+    random_fault_plan,
+    validate_plan_index,
+)
 
 
 class TestFaultPlan:
@@ -25,6 +30,55 @@ class TestFaultPlan:
     def test_negative_bit_rejected(self):
         with pytest.raises(ValueError):
             FaultPlan(iteration=1, index=(0, 0), bit=-1)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultPlan(iteration=1, index=(0, 0), bit=3, target="cache")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultPlan(iteration=1, index=(0,), bit=3, target="payload",
+                      action="scramble")
+
+    def test_defaults_are_the_legacy_domain_flip(self):
+        plan = FaultPlan(iteration=1, index=(0, 0), bit=3)
+        assert plan.target == "domain"
+        assert plan.action == "corrupt"
+        assert (plan.axis, plan.side) == (0, 0)
+
+
+class TestValidatePlanIndex:
+    def test_in_range_passes(self):
+        validate_plan_index(FaultPlan(iteration=1, index=(7, 5), bit=0), (8, 6))
+
+    def test_out_of_range_names_axis_and_extent(self):
+        plan = FaultPlan(iteration=4, index=(3, 6), bit=0)
+        with pytest.raises(ValueError) as exc:
+            validate_plan_index(plan, (8, 6))
+        msg = str(exc.value)
+        assert "iteration=4" in msg
+        assert "axis 1" in msg
+        assert "[0, 6)" in msg
+
+    def test_dimension_mismatch_keeps_legacy_phrasing(self):
+        plan = FaultPlan(iteration=1, index=(1, 1, 1), bit=0)
+        with pytest.raises(ValueError, match="dimensionality"):
+            validate_plan_index(plan, (8, 6))
+
+    def test_injector_validates_against_grid_shape(self, small_grid_2d):
+        shape = small_grid_2d.shape
+        bad = FaultPlan(iteration=1, index=(shape[0], 0), bit=3)
+        injector = FaultInjector([bad])
+        small_grid_2d.step()
+        with pytest.raises(ValueError, match="out of range"):
+            injector(small_grid_2d, 1)
+
+    def test_injector_refuses_non_domain_plans(self, small_grid_2d):
+        plan = FaultPlan(iteration=1, index=(0,), bit=3, target="checksum")
+        injector = FaultInjector([plan])
+        small_grid_2d.step()
+        with pytest.raises(ValueError, match="make_injector"):
+            injector(small_grid_2d, 1)
 
 
 class TestRandomFaultPlan:
