@@ -93,6 +93,28 @@ def _record_interpreted_step(backend: "Backend") -> None:
     _INTERPRETED_STEPS[name] = _INTERPRETED_STEPS.get(name, 0) + 1
 
 
+class _BatchedSpecView:
+    """Duck-typed view of a spec with a trailing zero offset appended.
+
+    :class:`~repro.stencil.spec.StencilSpec` only models 2D/3D
+    operators, but the interpreted sweeps consume nothing beyond the
+    ``(offset, weight)`` iteration — so the batched interpreted path
+    extends each offset with ``0`` along the run axis through this shim
+    instead of constructing an (impossible) higher-dimensional spec.
+    """
+
+    __slots__ = ("_points", "ndim")
+
+    def __init__(self, spec: StencilSpec) -> None:
+        self._points = tuple(
+            (tuple(offset) + (0,), weight) for offset, weight in spec
+        )
+        self.ndim = spec.ndim + 1
+
+    def __iter__(self):
+        return iter(self._points)
+
+
 class Backend(ABC):
     """Abstract compute backend: sweep, checksum and fused sweep+checksum."""
 
@@ -398,6 +420,201 @@ class Backend(ABC):
             checksum_dtype=checksum_dtype,
         )
 
+    # -- batched campaign steps: trailing run axis ---------------------------
+    @staticmethod
+    def _batch_geometry(
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        radius,
+        interior_shape: Sequence[int],
+        constant: Optional[np.ndarray],
+    ):
+        """Shared ``batch_step_into*`` validation.
+
+        Batched buffers are the padded single-run buffers with one
+        trailing run axis appended: shape ``padded_shape + (nb,)``.
+        Returns the coerced ``(radius, interior_shape, nb)``.
+        """
+        from repro.stencil.shift import normalize_radius, padded_shape
+
+        interior_shape = tuple(int(n) for n in interior_shape)
+        radius = normalize_radius(radius, len(interior_shape))
+        expected = padded_shape(interior_shape, radius)
+        if (
+            src_padded.ndim != len(interior_shape) + 1
+            or src_padded.shape[:-1] != tuple(expected)
+        ):
+            raise ValueError(
+                f"batched src_padded has shape {src_padded.shape}, expected "
+                f"{tuple(expected)} + (runs,) (interior {interior_shape}, "
+                f"radius {radius})"
+            )
+        if dst_padded.shape != src_padded.shape:
+            raise ValueError(
+                f"batched dst_padded has shape {dst_padded.shape}, "
+                f"expected {src_padded.shape}"
+            )
+        nb = int(src_padded.shape[-1])
+        if nb < 1:
+            raise ValueError(f"batch width must be >= 1, got {nb}")
+        if constant is not None and constant.shape != interior_shape:
+            raise ValueError(
+                f"constant has shape {constant.shape}, expected "
+                f"{interior_shape} (the constant is per-domain, not per-run)"
+            )
+        return radius, interior_shape, nb
+
+    def batch_step_into(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        constant: Optional[np.ndarray] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """One full step of a whole *batch* of independent runs.
+
+        ``src_padded``/``dst_padded`` carry a trailing run axis ``b``
+        (shape ``padded_shape + (nb,)``); slot ``b`` of the batch is
+        stepped exactly like :meth:`step_into` on ``[..., b]`` views —
+        ghost refresh from ``boundary`` included, constant shared across
+        runs — and must come out bit-identical to that single-run call.
+        This is the campaign engine's stacked fast path: compiled
+        backends override it with one generated ``bstep`` traversal
+        (outer ``prange`` over runs); the base implementation is the
+        always-correct loop over slots.
+
+        Returns the batched destination interior view
+        (``interior_shape + (nb,)``).
+        """
+        from repro.stencil.shift import interior_view
+
+        radius, interior_shape, nb = self._batch_geometry(
+            src_padded, dst_padded, radius, interior_shape, constant
+        )
+        for b in range(nb):
+            self.step_into(
+                src_padded[..., b],
+                dst_padded[..., b],
+                spec,
+                radius,
+                interior_shape,
+                boundary,
+                constant=constant,
+                refresh_axes=refresh_axes,
+            )
+        return interior_view(dst_padded, radius + (0,))
+
+    def batch_step_into_with_checksums(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        axes: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, ChecksumMap]:
+        """Fused form of :meth:`batch_step_into`: per-run checksums too.
+
+        The checksum map's vectors gain a trailing run axis as well
+        (axis 0 of a 2D domain → shape ``(n1, nb)``), with slot ``b``
+        bit-identical to the single-run checksum of run ``b``.
+        """
+        from repro.stencil.shift import interior_view
+
+        radius, interior_shape, nb = self._batch_geometry(
+            src_padded, dst_padded, radius, interior_shape, constant
+        )
+        axes = tuple(int(a) for a in axes)
+        per_axis = {a: [] for a in axes}
+        for b in range(nb):
+            _, cs = self.step_into_with_checksums(
+                src_padded[..., b],
+                dst_padded[..., b],
+                spec,
+                radius,
+                interior_shape,
+                boundary,
+                axes,
+                constant=constant,
+                checksum_dtype=checksum_dtype,
+            )
+            for a in axes:
+                per_axis[a].append(cs[a])
+        checksums: ChecksumMap = {
+            a: np.stack(vs, axis=-1) for a, vs in per_axis.items()
+        }
+        return interior_view(dst_padded, radius + (0,)), checksums
+
+    def _batch_step_vectorized(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        constant: Optional[np.ndarray] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
+        axes: Optional[Sequence[int]] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+    ):
+        """Whole-batch interpreted step in one vectorised pass.
+
+        The interpreted backends' shared ``batch_step_into*`` body: the
+        batch is treated as one (ndim+1)-dimensional domain whose run
+        axis has ghost width 0, so a single ``refresh_ghosts`` +
+        ``sweep_into`` covers every run.  Per-slot bit-identity with the
+        single-run step holds because every constituent is elementwise
+        or reduces a non-batch axis: the slab fills copy slot-by-slot,
+        the sweep's multiply/add sequence is the single-run order on
+        each slot, and the checksum reduction never crosses the run
+        axis.  With ``axes`` the per-run checksums are returned as well
+        (trailing run axis).
+        """
+        from repro.stencil.boundary import BoundaryCondition, BoundarySpec
+        from repro.stencil.shift import refresh_ghosts
+
+        radius, interior_shape, nb = self._batch_geometry(
+            src_padded, dst_padded, radius, interior_shape, constant
+        )
+        _record_interpreted_step(self)
+        ndim = len(interior_shape)
+        ext_radius = radius + (0,)
+        ext_shape = interior_shape + (nb,)
+        bspec = BoundarySpec.from_any(boundary, ndim)
+        # The run axis has zero ghost width, so its boundary condition
+        # is never applied; clamp is just a well-formed placeholder.
+        ext_boundary = tuple(bspec) + (BoundaryCondition.clamp(),)
+        ext_const = (
+            None
+            if constant is None
+            else np.broadcast_to(constant[..., None], ext_shape)
+        )
+        refresh_ghosts(src_padded, ext_radius, ext_boundary, axes=refresh_axes)
+        interior = self.sweep_into(
+            src_padded,
+            dst_padded,
+            _BatchedSpecView(spec),
+            ext_radius,
+            ext_shape,
+            constant=ext_const,
+        )
+        if axes is None:
+            return interior
+        checksums: ChecksumMap = {
+            int(a): interior.sum(axis=int(a), dtype=checksum_dtype)
+            for a in axes
+        }
+        return interior, checksums
+
     # -- temporal blocking: k fused steps per traversal ---------------------
     def _multi_step_views(
         self,
@@ -602,6 +819,7 @@ class Backend(ABC):
         radius=None,
         external_axes: Sequence[int] = (),
         block_steps: int = 1,
+        batch_width: int = 0,
     ) -> None:
         """Prepare the backend for an operator before timing-sensitive work.
 
@@ -614,7 +832,8 @@ class Backend(ABC):
         whose halo arrives from neighbours) so layout-specialized
         kernels can be prepared as well; ``block_steps > 1`` additionally
         prepares the temporal-blocking ``step_k`` kernels for that block
-        factor.
+        factor, and ``batch_width > 0`` the batched campaign kernels
+        (``bstep``/``bstep_cs``) at that run-axis width.
         """
 
     def __repr__(self) -> str:

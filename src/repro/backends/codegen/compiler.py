@@ -100,10 +100,20 @@ class CompiledKernels:
     def step_k_cs(self):
         return getattr(self.module, "step_k_cs", None)
 
+    @property
+    def bstep(self):
+        return getattr(self.module, "bstep", None)
+
+    @property
+    def bstep_cs(self):
+        return getattr(self.module, "bstep_cs", None)
+
     def describe(self) -> Dict:
         """Stats entry for ``repro backends --kernels`` / the benchmark."""
         kind = "sweep"
-        if self.plan.has_step:
+        if self.plan.batch:
+            kind = "bstep"
+        elif self.plan.has_step:
             kind = "step_k" if self.plan.is_blocked else "step"
         ghost_growth = None
         if self.plan.is_blocked and self.plan.halo is not None:
@@ -161,18 +171,24 @@ class KernelCompiler:
         has_const: bool = False,
         layout: Optional[GridLayout] = None,
         block_steps: int = 1,
+        batch: bool = False,
     ) -> CompiledKernels:
         """The compiled kernel set for ``spec`` (+ optional ``layout``).
 
         Kernels are keyed on the *structural* plan signature — offset
-        table, constant-term presence, ghost widths, boundary kinds and
-        the temporal block factor ``block_steps`` — so specs differing
-        only in weights, and layouts differing only in fill values,
-        share one entry, while each requested block factor gets its own
-        specialized module (the ``(signature, k)`` disk-cache key).
+        table, constant-term presence, ghost widths, boundary kinds,
+        the temporal block factor ``block_steps`` and the ``batch``
+        flag — so specs differing only in weights, and layouts
+        differing only in fill values, share one entry, while each
+        requested block factor (and the batched family, keyed ``|b``)
+        gets its own specialized module.
         """
         plan = plan_kernel(
-            spec, has_const=has_const, layout=layout, block_steps=block_steps
+            spec,
+            has_const=has_const,
+            layout=layout,
+            block_steps=block_steps,
+            batch=batch,
         )
         entry = self._entries.get(plan.signature)
         if entry is not None:

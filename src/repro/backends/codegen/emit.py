@@ -37,6 +37,15 @@ One plan becomes one self-contained module with up to five functions:
     k separate single steps (bit-for-bit).  Checksums are folded only
     on the final sub-step (``sweep_cs`` at the exact interior extent):
     the checksum carry that matches verify-every-p semantics.
+``bstep`` / ``bstep_cs``  (batched step plans, ``batch=True``)
+    The batched campaign strategy: the arrays carry a trailing run axis
+    ``b`` and the outer ``prange`` runs over the batch, so one
+    traversal refreshes ghosts, sweeps and folds per-run checksum
+    partials for every run.  Within a run the fills and accumulation
+    order are the single-run ``step``/``step_cs`` bodies verbatim (with
+    ``, b`` appended to each access), keeping run ``b`` bit-identical
+    to a single step on slot ``b``; the per-run checksum columns land
+    in trailing-axis ``(.., nb)`` arrays allocated before the run loop.
 
 The module imports ``prange`` from :mod:`repro.backends.codegen.runtime`
 and carries no decorators: the compiler applies ``numba.njit`` after
@@ -93,6 +102,7 @@ def _emit_point_sum(
     depth: int,
     plan: KernelPlan,
     src_base: Sequence[Sequence[_Term]],
+    tail: Sequence[str] = (),
 ) -> None:
     """Unrolled ``acc`` accumulation over the spec's offset table.
 
@@ -100,7 +110,10 @@ def _emit_point_sum(
     backends, which start from ``out += constant`` before the point
     loop), then the points accumulate in the spec's lexicographic
     order — so the rounding sequence is identical to the interpreted
-    sweep and the interior comes out bit-identical.
+    sweep and the interior comes out bit-identical.  ``tail`` appends
+    extra trailing index components to every ``src`` access (the run
+    axis of batched kernels); the constant is interior-shaped and never
+    takes the tail.
     """
     for p, offset in enumerate(plan.offsets):
         idx = _idx(
@@ -108,6 +121,7 @@ def _emit_point_sum(
                 _sum_expr(*base, o)
                 for base, o in zip(src_base, offset)
             ]
+            + list(tail)
         )
         if p == 0 and plan.has_const:
             loopvars = _idx([f"x{a}" for a in range(plan.ndim)])
@@ -208,21 +222,31 @@ def _halo_loop_ranges(
     return ranges
 
 
-def _emit_refresh(w: _Writer, plan: KernelPlan) -> None:
+def _emit_halo_fills(
+    w: _Writer,
+    plan: KernelPlan,
+    base_depth: int,
+    tail: Sequence[str] = (),
+) -> bool:
+    """Straight-line ghost-slab fills for every boundary axis.
+
+    Shared body of ``refresh`` (``base_depth=1``, no tail) and the
+    batched ``bstep`` family, which inlines the fills inside the run
+    loop with ``tail=("b",)`` appended to every index.  Returns whether
+    any fill was emitted at all.
+    """
     ndim = plan.ndim
     halo = plan.halo
     assert halo is not None
-    args = ", ".join(["src"] + [f"n{a}" for a in range(ndim)] + ["fills"])
-    w.line(0, f"def refresh({args}):")
     body = False
     for k, h in enumerate(halo):
         if not h.fills_ghosts:
             continue
         body = True
         r, n = h.radius, f"n{h.axis}"
-        w.line(1, f"# axis {h.axis} halo: {h.kind} (r={r})")
+        w.line(base_depth, f"# axis {h.axis} halo: {h.kind} (r={r})")
         other = [j for j in range(ndim) if j != k]
-        depth = 1
+        depth = base_depth
         for j, rng in zip(other, _halo_loop_ranges(halo, k)):
             w.line(depth, f"for i{j} in {rng}:")
             depth += 1
@@ -232,7 +256,7 @@ def _emit_refresh(w: _Writer, plan: KernelPlan) -> None:
         def ghost(pos: str) -> str:
             parts = [f"i{j}" for j in range(ndim)]
             parts[k] = pos
-            return _idx(parts)
+            return _idx(parts + list(tail))
 
         low_pos = "g"
         high_pos = _sum_expr(r, n, "g")
@@ -248,7 +272,14 @@ def _emit_refresh(w: _Writer, plan: KernelPlan) -> None:
         else:
             w.line(depth, f"src[{ghost(low_pos)}] = fills[{k}]")
             w.line(depth, f"src[{ghost(high_pos)}] = fills[{k}]")
-    if not body:
+    return body
+
+
+def _emit_refresh(w: _Writer, plan: KernelPlan) -> None:
+    ndim = plan.ndim
+    args = ", ".join(["src"] + [f"n{a}" for a in range(ndim)] + ["fills"])
+    w.line(0, f"def refresh({args}):")
+    if not _emit_halo_fills(w, plan, 1):
         w.line(1, "pass  # every axis is external or has zero ghost width")
     w.line(0)
     w.line(0)
@@ -336,6 +367,80 @@ def _emit_step_k(w: _Writer, plan: KernelPlan, cs: bool) -> None:
     w.line(0)
 
 
+def _emit_bstep(w: _Writer, plan: KernelPlan, cs: bool) -> None:
+    """The batched campaign kernel: trailing run axis ``b``.
+
+    One traversal refreshes ghosts, sweeps and (``bstep_cs``) folds
+    per-run checksum partials for every run in the batch.  The outer
+    ``prange`` is over runs, so each thread owns one run's slab of
+    ``src``/``dst`` and its own trailing-axis checksum columns — no
+    cross-thread writes.  Within one run the halo fills, the point
+    accumulation order and the per-run checksum line sequence are the
+    exact single-run ``step``/``step_cs`` bodies with ``, b`` appended
+    to every array access (the interior-shaped constant excepted), so
+    run ``b`` of a batched call is arithmetically the single-run kernel
+    applied to slot ``b``.
+    """
+    ndim = plan.ndim
+    halo = plan.halo
+    assert halo is not None
+    radii = [h.radius for h in halo]
+    dims = range(ndim)
+    name = "bstep_cs" if cs else "bstep"
+    args = ["src", "dst", "wts"] + [f"n{a}" for a in dims]
+    args += ["nb", "const", "fills"]
+    if cs:
+        args.append("cs_like")
+    w.line(0, f"def {name}({', '.join(args)}):")
+    if cs:
+        if ndim == 2:
+            w.line(1, "cs0 = np.zeros((n1, nb), cs_like.dtype)")
+            w.line(1, "cs1 = np.zeros((n0, nb), cs_like.dtype)")
+        else:
+            w.line(1, "cs0 = np.zeros((n1, n2, nb), cs_like.dtype)")
+            w.line(1, "cs1 = np.zeros((n0, n2, nb), cs_like.dtype)")
+    w.line(1, "for b in prange(nb):")
+    _emit_halo_fills(w, plan, 2, tail=("b",))
+    src_base = [(f"x{a}", radii[a]) for a in dims]
+    dst_idx = _idx(
+        [_sum_expr(f"x{a}", radii[a]) for a in dims] + ["b"]
+    )
+    if not cs:
+        w.line(2, "for x0 in range(n0):")
+        for a in range(1, ndim):
+            w.line(a + 2, f"for x{a} in range(n{a}):")
+        _emit_point_sum(w, ndim + 2, plan, src_base, tail=("b",))
+        w.line(ndim + 2, f"dst[{dst_idx}] = acc")
+    elif ndim == 2:
+        w.line(2, "for x0 in range(n0):")
+        w.line(3, "row = np.zeros(n1, cs_like.dtype)")
+        w.line(3, "s = row[0]")
+        w.line(3, "for x1 in range(n1):")
+        _emit_point_sum(w, 4, plan, src_base, tail=("b",))
+        w.line(4, f"dst[{dst_idx}] = acc")
+        w.line(4, "row[x1] = acc")
+        w.line(4, "s += row[x1]")
+        w.line(3, "cs1[x0, b] = s")
+        w.line(3, "for x1 in range(n1):")
+        w.line(4, "cs0[x1, b] += row[x1]")
+    else:
+        w.line(2, "for x0 in range(n0):")
+        w.line(3, "part = np.zeros((n1, n2), cs_like.dtype)")
+        w.line(3, "for x1 in range(n1):")
+        w.line(4, "for x2 in range(n2):")
+        _emit_point_sum(w, 5, plan, src_base, tail=("b",))
+        w.line(5, f"dst[{dst_idx}] = acc")
+        w.line(5, "part[x1, x2] = acc")
+        w.line(5, "cs1[x0, x2, b] += part[x1, x2]")
+        w.line(3, "for x1 in range(n1):")
+        w.line(4, "for x2 in range(n2):")
+        w.line(5, "cs0[x1, x2, b] += part[x1, x2]")
+    if cs:
+        w.line(1, "return cs0, cs1")
+    w.line(0)
+    w.line(0)
+
+
 def emit_module(plan: KernelPlan) -> str:
     """Emit the full generated-module source for ``plan``."""
     w = _Writer()
@@ -347,6 +452,8 @@ def emit_module(plan: KernelPlan) -> str:
         w.line(0, f"layout: {plan.layout_signature}")
     if plan.is_blocked:
         w.line(0, f"blocked: k={plan.block_steps} sub-steps per traversal")
+    if plan.batch:
+        w.line(0, "batched: trailing run axis b, one traversal per batch")
     w.line(0, '"""')
     w.line(0)
     w.line(0, "import numpy as np")
@@ -356,6 +463,18 @@ def emit_module(plan: KernelPlan) -> str:
     w.line(0, f"SIGNATURE = {plan.signature!r}")
     w.line(0, f"DIGEST = {plan.digest!r}")
     w.line(0, f"BLOCK_STEPS = {plan.block_steps}")
+    if plan.batch:
+        # A batched module carries only the batched pair: the single-run
+        # families live in the unbatched module for the same layout, so
+        # emitting them here would just double the compile cost.
+        w.line(0, 'JIT_FUNCS = ("bstep", "bstep_cs")')
+        w.line(0, 'PARALLEL_FUNCS = ("bstep", "bstep_cs")')
+        w.line(0)
+        w.line(0)
+        _emit_bstep(w, plan, cs=False)
+        _emit_bstep(w, plan, cs=True)
+        src = w.source()
+        return src.rstrip("\n") + "\n"
     funcs = ["sweep", "sweep_cs"]
     if plan.has_step:
         funcs += ["refresh", "step", "step_cs"]

@@ -99,6 +99,7 @@ class KernelPlan:
     spec_signature: str
     layout_signature: Optional[str]
     block_steps: int = 1
+    batch: bool = False
 
     @property
     def npoints(self) -> int:
@@ -128,6 +129,9 @@ class KernelPlan:
             f"v{CODEGEN_VERSION}|{self.ndim}d|offs[{offs}]"
             f"|const={int(self.has_const)}|halo[{halo}]"
             f"|k={self.block_steps}"
+            # The suffix appears only on batched plans, so every
+            # pre-existing signature (and on-disk digest) is unchanged.
+            + ("|b" if self.batch else "")
         )
 
     @property
@@ -141,6 +145,7 @@ def plan_kernel(
     has_const: bool = False,
     layout: Optional[GridLayout] = None,
     block_steps: int = 1,
+    batch: bool = False,
 ) -> KernelPlan:
     """Lower a spec (and optionally a grid layout) into a kernel plan.
 
@@ -158,10 +163,28 @@ def plan_kernel(
     least ``k*r``.  A per-point constant cannot be combined with
     external axes in a blocked plan: the constant is interior-shaped
     and has no values for the expanded trapezoid region.
+
+    ``batch=True`` plans the batched campaign kernel family
+    (``bstep``/``bstep_cs``): the same halo plan, but the arrays carry
+    a trailing run axis ``b`` and one traversal refreshes ghosts,
+    sweeps and folds per-run checksum partials for every run in the
+    batch.  A batched plan requires a layout (the whole point is the
+    fused step) and cannot be combined with temporal blocking.
     """
     block_steps = int(block_steps)
     if block_steps < 1:
         raise ValueError(f"block_steps must be >= 1, got {block_steps}")
+    if batch:
+        if layout is None:
+            raise ValueError(
+                "batched plans require a grid layout: only the fused "
+                "step family has a batched emission strategy"
+            )
+        if block_steps > 1:
+            raise ValueError(
+                "batched plans cannot be combined with temporal "
+                "blocking (block_steps > 1)"
+            )
     offsets = tuple(
         tuple(int(v) for v in o) for o in spec.offsets
     )
@@ -219,4 +242,5 @@ def plan_kernel(
         spec_signature=spec.signature(),
         layout_signature=layout_signature,
         block_steps=block_steps,
+        batch=bool(batch),
     )

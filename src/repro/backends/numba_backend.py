@@ -121,12 +121,14 @@ class NumbaBackend(Backend):
         constant: Optional[np.ndarray],
         layout: Optional[GridLayout] = None,
         block_steps: int = 1,
+        batch: bool = False,
     ) -> CompiledKernels:
         return self._compiler.kernels_for(
             spec,
             has_const=constant is not None,
             layout=layout,
             block_steps=block_steps,
+            batch=batch,
         )
 
     def _weights_arg(self, spec: StencilSpec, dtype: np.dtype) -> np.ndarray:
@@ -386,6 +388,90 @@ class NumbaBackend(Backend):
         )
         return interior, self._select_axes(cs0, cs1, axes)
 
+    # -- batched campaign steps: compiled bstep kernels -----------------------
+    def _batch_args(
+        self, src_padded, dst_padded, spec, radius, interior_shape, boundary,
+        constant, refresh_axes,
+    ):
+        """Marshalled arguments for the generated ``bstep`` kernels.
+
+        The layout is the *domain* layout — the trailing run axis never
+        appears in the plan; the kernels take the batch width ``nb`` as
+        a runtime argument instead, so every batch width shares one
+        compiled module per layout.
+        """
+        radius, interior_shape, nb = self._batch_geometry(
+            src_padded, dst_padded, radius, interior_shape, constant
+        )
+        bspec = BoundarySpec.from_any(boundary, spec.ndim)
+        layout = GridLayout.from_args(
+            radius, bspec, spec.ndim, refresh_axes=refresh_axes
+        )
+        kernels = self._kernels(spec, constant, layout=layout, batch=True)
+        dtype = src_padded.dtype
+        wts = self._weights_arg(spec, dtype)
+        const = self._const_arg(constant, dtype, spec.ndim)
+        fills = self._fills_arg(layout)
+        return interior_shape, radius, nb, kernels, wts, const, fills
+
+    def batch_step_into(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        constant: Optional[np.ndarray] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        if np.may_share_memory(src_padded, dst_padded):
+            # Aliasing batched pair: the base loop-over-slots delegates
+            # to this backend's own step_into, which stages internally —
+            # every slot still runs a compiled kernel.
+            return super().batch_step_into(
+                src_padded, dst_padded, spec, radius, interior_shape,
+                boundary, constant=constant, refresh_axes=refresh_axes,
+            )
+        shape, radius, nb, kernels, wts, const, fills = self._batch_args(
+            src_padded, dst_padded, spec, radius, interior_shape, boundary,
+            constant, refresh_axes,
+        )
+        kernels.bstep(src_padded, dst_padded, wts, *shape, nb, const, fills)
+        return interior_view(dst_padded, radius + (0,))
+
+    def batch_step_into_with_checksums(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        axes: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, ChecksumMap]:
+        if np.may_share_memory(src_padded, dst_padded):
+            return super().batch_step_into_with_checksums(
+                src_padded, dst_padded, spec, radius, interior_shape,
+                boundary, axes, constant=constant,
+                checksum_dtype=checksum_dtype, refresh_axes=refresh_axes,
+            )
+        shape, radius, nb, kernels, wts, const, fills = self._batch_args(
+            src_padded, dst_padded, spec, radius, interior_shape, boundary,
+            constant, refresh_axes,
+        )
+        cs_like = self._checksum_like(checksum_dtype, src_padded.dtype)
+        cs0, cs1 = kernels.bstep_cs(
+            src_padded, dst_padded, wts, *shape, nb, const, fills, cs_like
+        )
+        return (
+            interior_view(dst_padded, radius + (0,)),
+            self._select_axes(cs0, cs1, axes),
+        )
+
     # -- temporal blocking: compiled k-step kernels ---------------------------
     def _multi_step_args(
         self, src_padded, dst_padded, k, spec, radius, interior_shape,
@@ -521,6 +607,7 @@ class NumbaBackend(Backend):
         radius=None,
         external_axes: Sequence[int] = (),
         block_steps: int = 1,
+        batch_width: int = 0,
     ) -> None:
         """Generate + compile (or load from disk) the layout's kernels.
 
@@ -646,3 +733,42 @@ class NumbaBackend(Backend):
                 (0, 1), checksum_dtype=checksum_dtype,
                 refresh_axes=refresh_axes,
             ))
+        # Batched campaign kernels at the requested run-axis width: both
+        # the full-width C-contiguous pair the engine allocates and (for
+        # widths > 1) a narrower trailing-axis slice — numba specializes
+        # per array layout, and the engine's final partial batch steps
+        # exactly such a strided view.
+        batch_width = int(batch_width)
+        if batch_width > 0:
+            bsrc = np.stack([pad_array(u, radius, bspec)] * batch_width, axis=-1)
+            bdst = np.zeros(bsrc.shape, dtype=dtype)
+            views = [(bsrc, bdst)]
+            if batch_width > 1:
+                views.append(
+                    (bsrc[..., : batch_width - 1], bdst[..., : batch_width - 1])
+                )
+            batch_entry = self._kernels(spec, None, layout=layout, batch=True)
+            batch_const_entry = self._kernels(
+                spec, const, layout=layout, batch=True
+            )
+            for bs, bd in views:
+                timed(batch_entry, lambda: self.batch_step_into(
+                    bs, bd, spec, radius, shape, bspec,
+                    refresh_axes=refresh_axes,
+                ))
+                timed(batch_entry, lambda: self.batch_step_into_with_checksums(
+                    bs, bd, spec, radius, shape, bspec, (0, 1),
+                    checksum_dtype=checksum_dtype, refresh_axes=refresh_axes,
+                ))
+                timed(batch_const_entry, lambda: self.batch_step_into(
+                    bs, bd, spec, radius, shape, bspec, constant=const,
+                    refresh_axes=refresh_axes,
+                ))
+                timed(
+                    batch_const_entry,
+                    lambda: self.batch_step_into_with_checksums(
+                        bs, bd, spec, radius, shape, bspec, (0, 1),
+                        constant=const, checksum_dtype=checksum_dtype,
+                        refresh_axes=refresh_axes,
+                    ),
+                )

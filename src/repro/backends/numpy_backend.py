@@ -8,7 +8,7 @@ domain (the unfused shape every optimised backend is validated against).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,3 +72,39 @@ class NumpyBackend(Backend):
             # preallocated scratch buffer.
             out += np.asarray(weight, dtype=dtype) * view
         return out
+
+    def batch_step_into(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        constant: Optional[np.ndarray] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Whole-batch step as one vectorised pass over the run axis."""
+        return self._batch_step_vectorized(
+            src_padded, dst_padded, spec, radius, interior_shape, boundary,
+            constant=constant, refresh_axes=refresh_axes,
+        )
+
+    def batch_step_into_with_checksums(
+        self,
+        src_padded: np.ndarray,
+        dst_padded: np.ndarray,
+        spec: StencilSpec,
+        radius,
+        interior_shape: Sequence[int],
+        boundary,
+        axes: Sequence[int],
+        constant: Optional[np.ndarray] = None,
+        checksum_dtype: Optional[np.dtype] = None,
+        refresh_axes: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, Dict[int, np.ndarray]]:
+        return self._batch_step_vectorized(
+            src_padded, dst_padded, spec, radius, interior_shape, boundary,
+            constant=constant, refresh_axes=refresh_axes, axes=tuple(axes),
+            checksum_dtype=checksum_dtype,
+        )

@@ -264,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="runs per dispatched batch (default: automatic)",
     )
     camp.add_argument(
+        "--strategy", choices=("auto", "stacked", "replay"), default="auto",
+        help="run strategy: auto picks the fastest eligible path per "
+        "batch, stacked demands the batched fast path (error when the "
+        "campaign cannot take it), replay forces the per-run legacy path",
+    )
+    camp.add_argument(
+        "--stacked-width", type=int, default=None, metavar="N",
+        help="cap on the stacked batch width (default: "
+        "REPRO_STACKED_WIDTH, else 32)",
+    )
+    camp.add_argument(
         "--backend", choices=available_backends(), default=None,
         help="compute backend for the sweeps",
     )
@@ -385,10 +396,14 @@ def _run_campaign_cli(args) -> int:
         inject=(args.scenario == "single-bit-flip"),
         seed=args.seed,
         fault_model=fault_model,
+        stacked_width=args.stacked_width,
     )
     with CampaignEngine(batch_size=args.batch) as engine:
         start = time.perf_counter()
-        result = engine.run(app.build_grid, factory, config, reference=reference)
+        result = engine.run(
+            app.build_grid, factory, config, reference=reference,
+            strategy=args.strategy,
+        )
         elapsed = time.perf_counter() - start
         executor = engine.executor
 
@@ -404,6 +419,17 @@ def _run_campaign_cli(args) -> int:
             f"worker{'s' if executor.workers != 1 else ''}), "
             f"batch {engine.batch_size or 'auto'}"
         )
+        counts = result.strategy_counts()
+        if counts:
+            used = ", ".join(
+                f"{name} ({n} run{'s' if n != 1 else ''})"
+                for name, n in sorted(counts.items())
+            )
+            line = f"strategy : {used}"
+            reasons = result.fallback_reasons()
+            if reasons:
+                line += f" — replay because: {'; '.join(reasons)}"
+            print(line)
         if engine.chaos is not None or engine.worker_restarts:
             print(
                 f"resilience: chaos {engine.chaos or 'off'}, "

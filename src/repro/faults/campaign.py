@@ -31,6 +31,7 @@ from repro.metrics.statistics import SummaryStats, summarize
 from repro.stencil.grid import GridBase
 
 __all__ = [
+    "BatchStrategy",
     "CampaignConfig",
     "RunRecord",
     "CampaignResult",
@@ -70,6 +71,13 @@ class CampaignConfig:
         :class:`~repro.faults.models.SingleBitFlip` built from
         ``faults_per_run``/``bit`` — the legacy paper model, with RNG
         draws bit-identical to the historical loop.
+    stacked_width:
+        Cap on the engine's stacked batch width (runs laid out along the
+        trailing axis of one buffer pair).  ``None`` (the default)
+        defers to the ``REPRO_STACKED_WIDTH`` environment variable and
+        then to the built-in default of 32 — see
+        :func:`repro.faults.engine.resolve_stacked_width`.  A pure
+        throughput knob: records are bitwise-independent of it.
     """
 
     iterations: int
@@ -79,6 +87,7 @@ class CampaignConfig:
     faults_per_run: int = 1
     seed: int = 0
     fault_model: Optional[FaultModel] = None
+    stacked_width: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -87,6 +96,8 @@ class CampaignConfig:
             raise ValueError("repetitions must be >= 1")
         if self.faults_per_run < 1:
             raise ValueError("faults_per_run must be >= 1")
+        if self.stacked_width is not None and self.stacked_width < 1:
+            raise ValueError("stacked_width must be >= 1")
         if self.fault_model is not None and not isinstance(
             self.fault_model, FaultModel
         ):
@@ -128,6 +139,28 @@ class RunRecord:
     @property
     def detected(self) -> bool:
         return self.errors_detected > 0
+
+
+@dataclass(frozen=True)
+class BatchStrategy:
+    """Which run strategy one engine batch actually used.
+
+    The engine picks ``stacked`` or ``replay`` per batch (see
+    :mod:`repro.faults.engine`); campaigns report that choice — with the
+    recorded fallback reason whenever replay was chosen — so throughput
+    numbers are never read against the wrong execution path.  The legacy
+    serial :func:`run_campaign` loop reports nothing here (records are
+    identical either way; strategy is a property of the engine).
+    """
+
+    #: First run index of the batch.
+    start: int
+    #: Number of runs in the batch.
+    width: int
+    #: ``"stacked"`` | ``"replay"``.
+    strategy: str
+    #: Why replay was chosen when it was (``None`` under stacked).
+    reason: Optional[str] = None
 
 
 @dataclass
@@ -195,6 +228,24 @@ class CampaignResult:
     config: CampaignConfig
     protector_name: str
     records: List[RunRecord] = field(default_factory=list)
+    #: Per-batch strategy reports (engine campaigns only; the legacy
+    #: serial loop leaves this empty).
+    batch_strategies: List[BatchStrategy] = field(default_factory=list)
+
+    def strategy_counts(self) -> dict:
+        """Runs executed per strategy, e.g. ``{"stacked": 96, "replay": 4}``."""
+        counts: dict = {}
+        for batch in self.batch_strategies:
+            counts[batch.strategy] = counts.get(batch.strategy, 0) + batch.width
+        return counts
+
+    def fallback_reasons(self) -> List[str]:
+        """Distinct recorded reasons replay batches fell back, in order."""
+        seen: List[str] = []
+        for batch in self.batch_strategies:
+            if batch.reason is not None and batch.reason not in seen:
+                seen.append(batch.reason)
+        return seen
 
     def columns(self) -> _ResultColumns:
         """Columnar arrays over the records (cached per record count)."""

@@ -41,25 +41,33 @@ Two run strategies share that lifecycle:
     accelerates campaigns the same way it accelerates single runs.
     Bitwise-identical to the legacy loop by construction (same code
     path).  Used for the offline protector (checkpoint/rollback state),
-    custom protectors, custom inject hooks, and whenever a non-NumPy
-    backend is active.
+    custom protectors, custom inject hooks, and non-domain fault
+    targets (checksum/ghost/payload strikes must replay the exact
+    machinery they attack).
 
 ``stacked``
-    The batched fast path for the interpreted (``fused``/``numpy``)
-    backends, which are bound by per-call NumPy dispatch overhead at the
-    paper's 64x64x8 tile size: the whole batch of runs is laid out as
-    one extra trailing axis of a single persistent padded buffer pair,
-    and each campaign iteration performs the ghost refresh, the sweep
-    (in the fused backend's exact operation order), the checksum
-    reduction and the Theorem-1 interpolation for *all* runs of the
-    batch in one set of NumPy calls.  Elementwise operations and
-    single-axis reductions are bitwise-independent of the trailing batch
-    axis, so every run's numbers are identical to its serial execution;
-    the rare steps on which the vectorised detection screen flags a run
-    are delegated, for that run only, to the ordinary
+    The batched fast path: the whole batch of runs is laid out as one
+    extra trailing axis of a single persistent padded buffer pair, and
+    each campaign iteration drives the backend-owned
+    :meth:`~repro.backends.base.Backend.batch_step_into_with_checksums`
+    primitive — one vectorised NumPy pass on the interpreted backends,
+    one generated ``bstep_cs`` kernel call (outer ``prange`` over runs)
+    on the compiled numba backend — followed by one stacked Theorem-1
+    interpolation and detection screen for all runs at once.  Every
+    backend's batched step is per-slot bit-identical to its single-run
+    step, and the per-run checksum *chains* are selected to match what
+    replay would have fed the protector (fault-carrying runs recompute
+    ``np.sum`` checksums after injection, exactly like the hook-driven
+    replay path; clean runs trust the fused kernel checksums), so every
+    run's numbers are identical to its serial execution.  The rare
+    steps on which the vectorised detection screen flags a run are
+    delegated, for that run only, to the ordinary
     :meth:`OnlineABFT.process` on per-run views — corrections reuse the
     library implementation verbatim.  Eligibility is checked per
-    campaign (:func:`stacked_supported`); anything else replays.
+    campaign (:func:`stacked_support_reason`, which names the fallback
+    reason the records report); anything else replays.  Stacked versus
+    replay is a pure throughput choice — records are bitwise-identical
+    either way.
 
 The engine powers every experiment harness
 (:mod:`repro.experiments.campaign_runner`, figures 10/11, sensitivity)
@@ -86,6 +94,7 @@ from repro.core.online import OnlineABFT
 from repro.core.protector import NoProtection, Protector
 from repro.faults.bitflip import flip_bit_in_array
 from repro.faults.campaign import (
+    BatchStrategy,
     CampaignConfig,
     CampaignResult,
     GridFactory,
@@ -104,7 +113,10 @@ from repro.stencil.shift import interior_view
 
 __all__ = [
     "CampaignEngine",
+    "STACKED_WIDTH_ENV_VAR",
     "draw_fault_plans",
+    "resolve_stacked_width",
+    "stacked_support_reason",
     "stacked_supported",
 ]
 
@@ -129,15 +141,16 @@ _DEFAULT_CHAOS_TIMEOUT = 30.0
 #: campaign configurations does not accumulate stacked buffer pairs.
 _STATE_CACHE_MAX = 4
 
-#: Backends whose sweeps/checksums the stacked strategy reproduces
-#: bitwise (interpreted NumPy op-order; see ``repro/backends/fused.py``:
-#: the fused backend's operation order is identical to the reference).
-_STACKED_BACKENDS = frozenset({"fused", "numpy"})
+#: Environment variable overriding the stacked batch-width cap (lowest
+#: precedence is the built-in default; ``CampaignConfig.stacked_width``
+#: wins over both).
+STACKED_WIDTH_ENV_VAR = "REPRO_STACKED_WIDTH"
 
 #: Default cap on the stacked batch width.  Wider batches amortise the
-#: per-call NumPy overhead further but grow the persistent buffer pair
-#: linearly; 32 runs of the paper's 64x64x8 tile keep the pair ~11 MB.
-_DEFAULT_BATCH = 32
+#: per-call/per-kernel-launch overhead further but grow the persistent
+#: buffer pair linearly; 32 runs of the paper's 64x64x8 tile keep the
+#: pair ~11 MB.
+_DEFAULT_STACKED_WIDTH = 32
 
 #: Signature of a per-run hook factory (sensitivity-style experiments):
 #: called in the parent, in run order, so stateful RNG draws match the
@@ -171,38 +184,75 @@ def draw_fault_plans(
     return plans
 
 
+def resolve_stacked_width(config: Optional[CampaignConfig] = None) -> int:
+    """Resolve the stacked batch-width cap.
+
+    Precedence: ``config.stacked_width`` (when set) over the
+    ``REPRO_STACKED_WIDTH`` environment variable over the built-in
+    default of 32.  The width is a pure throughput knob — records are
+    bitwise-independent of it.
+    """
+    if config is not None and config.stacked_width is not None:
+        return int(config.stacked_width)
+    env = os.environ.get(STACKED_WIDTH_ENV_VAR)
+    if env:
+        try:
+            width = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{STACKED_WIDTH_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+        if width < 1:
+            raise ValueError(
+                f"{STACKED_WIDTH_ENV_VAR} must be >= 1, got {width}"
+            )
+        return width
+    return _DEFAULT_STACKED_WIDTH
+
+
 def _resolved_backend(grid: GridBase, protector: Protector):
     """The backend the protector's sweeps will actually run through."""
     backend = getattr(protector, "backend", None)
     return backend if backend is not None else grid.backend
 
 
-def stacked_supported(grid: GridBase, protector: Protector) -> bool:
-    """Whether a campaign qualifies for the stacked batched fast path.
+def stacked_support_reason(
+    grid: GridBase, protector: Protector
+) -> Optional[str]:
+    """Why a campaign cannot take the stacked fast path (``None`` = it can).
 
-    The stacked strategy re-implements the per-step pipeline with its
-    own (batched) NumPy calls, so it is restricted to configurations it
-    reproduces bitwise: standard double-buffered grids, the interpreted
-    backends, and the default online protector (single lazily-paired
-    verified checksum) or the unprotected baseline.  Everything else
-    takes the replay strategy, which is the legacy code path itself.
+    The stacked strategy drives the backend-owned batched step
+    primitive, which every backend guarantees per-slot bit-identical to
+    its single-run step — so backend choice no longer matters.  What
+    still forces replay is *protocol* the batched loop does not
+    re-implement: grid subclasses with their own stepping, protectors
+    other than the default online one or the unprotected baseline, and
+    the online protector's eager row-checksum mode (a second paired
+    checksum chain per step).  The returned string is the fallback
+    reason campaigns report per batch.
     """
     if not isinstance(grid, GridBase) or grid.ndim not in (2, 3):
-        return False
+        return "grid is not a standard 2D/3D double-buffered grid"
     # A subclass that reimplements stepping owns semantics the stacked
     # sweep would silently bypass.
     if (
         type(grid).step is not GridBase.step
         or type(grid).step_with_checksums is not GridBase.step_with_checksums
     ):
-        return False
-    if _resolved_backend(grid, protector).name not in _STACKED_BACKENDS:
-        return False
+        return "grid subclass overrides stepping"
     if isinstance(protector, NoProtection):
-        return True
+        return None
     if isinstance(protector, OnlineABFT):
-        return not protector.eager_row_checksum
-    return False
+        if protector.eager_row_checksum:
+            return "online protector pairs row checksums eagerly"
+        return None
+    name = getattr(protector, "name", type(protector).__name__)
+    return f"protector {name!r} has no stacked implementation"
+
+
+def stacked_supported(grid: GridBase, protector: Protector) -> bool:
+    """Whether a campaign qualifies for the stacked batched fast path."""
+    return stacked_support_reason(grid, protector) is None
 
 
 # ---------------------------------------------------------------------------
@@ -222,6 +272,9 @@ class _CampaignMeta:
     protector_name: str
     grid_factory: GridFactory
     protector_factory: ProtectorFactory
+    #: Why this factory pair cannot stack (``None`` = it can) — used to
+    #: fail fast, in the parent, when ``strategy="stacked"`` is forced.
+    stacked_reason: Optional[str] = None
 
 
 @dataclass
@@ -267,11 +320,12 @@ class _StackedBatch:
     """Persistent stacked buffer pair executing whole batches of runs.
 
     The batch of runs is one trailing axis of a single padded
-    :class:`DoubleBufferedGrid` pair.  Per campaign iteration: one ghost
-    refresh, one sweep (the fused backend's exact operation order: the
-    constant term seeds the accumulator, then every stencil point is
-    multiplied into a scratch buffer and added in spec order), one
-    checksum reduction and one Theorem-1 interpolation — each acting on
+    :class:`DoubleBufferedGrid` pair.  Per campaign iteration: one
+    backend-owned batched step
+    (:meth:`~repro.backends.base.Backend.batch_step_into_with_checksums`
+    — fused ghost refresh, sweep and checksum fold for every run in one
+    vectorised pass or one compiled ``prange``-over-runs kernel), one
+    Theorem-1 interpolation and one detection screen — each acting on
     every run of the batch at once.  All buffers are allocated once and
     reset in place between batches.
     """
@@ -288,10 +342,16 @@ class _StackedBatch:
         self.base_radius = grid.radius
         self.dtype = grid.dtype
         self.spec = grid.spec
+        self.backend = _resolved_backend(grid, protector)
+        # Domain-axis boundary: the backend's batched step treats the
+        # trailing run axis itself (ghost width 0, never refreshed).
+        self.base_boundary = BoundarySpec.from_any(
+            grid.boundary, len(self.base_shape)
+        )
         shape = self.base_shape + (self.width,)
         radius = tuple(self.base_radius) + (0,)
         boundary = BoundarySpec(
-            tuple(list(grid.boundary)) + (BoundaryCondition.clamp(),)
+            tuple(self.base_boundary) + (BoundaryCondition.clamp(),)
         )
         self.shape = shape
         self.radius = radius
@@ -303,12 +363,8 @@ class _StackedBatch:
             np.broadcast_to(self.initial, shape), radius, boundary,
             dtype=self.dtype,
         )
-        self.staging = np.empty(shape, dtype=self.dtype)
-        self.scratch = np.empty(shape, dtype=self.dtype)
-        self.constant = None if grid.constant is None else grid.constant[..., None]
-        # Stencil views of both buffers, built once per (buffer, width).
-        self._views: Dict[Tuple[int, int], List[Tuple[np.ndarray, np.ndarray]]] = {}
-        # 4D-extended (offset, weight) pairs for the stacked Theorem-1
+        self.constant = grid.constant
+        # Batch-extended (offset, weight) pairs for the stacked Theorem-1
         # interpolation: the batch axis never shifts.
         self.spec_ext = tuple((tuple(o) + (0,), w) for o, w in self.spec)
 
@@ -320,54 +376,6 @@ class _StackedBatch:
             self.epsilon = protector.epsilon
             cs = protector._constant_sums[self.verify_axis]
             self.constant_sum = None if cs is None else cs[..., None]
-
-    def _stencil_views(
-        self, padded: np.ndarray, width: int
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        key = (id(padded), width)
-        views = self._views.get(key)
-        if views is None:
-            if len(self._views) >= 8:
-                self._views.clear()
-            views = []
-            for offset, weight in self.spec:
-                slices = tuple(
-                    slice(r + o, r + o + n)
-                    for o, r, n in zip(offset, self.base_radius, self.base_shape)
-                ) + (slice(0, width),)
-                views.append(
-                    (padded[slices], np.asarray(weight, dtype=self.dtype))
-                )
-            self._views[key] = views
-        return views
-
-    def _sweep(self, width: int) -> None:
-        """One batched sweep, in the fused backend's operation order."""
-        out = self.staging[..., :width]
-        scratch = self.scratch[..., :width]
-        views = self._stencil_views(self.pair.front, width)
-        have_out = False
-        if self.constant is not None:
-            out[...] = 0
-            out += self.constant
-            have_out = True
-        for view, weight in views:
-            if not have_out:
-                np.multiply(view, weight, out=out)
-                have_out = True
-            else:
-                np.multiply(view, weight, out=scratch)
-                np.add(out, scratch, out=out)
-        interior_view(self.pair.back, self.radius)[..., :width] = out
-
-    def _refresh(self, width: int) -> None:
-        # Refresh only the active batch slice; the slab fills operate on
-        # views, so a partial final batch never touches the idle slots.
-        from repro.stencil.shift import refresh_ghosts
-
-        refresh_ghosts(
-            self.pair.front[..., :width], self.radius, self.boundary
-        )
 
     def run_batch(
         self,
@@ -400,6 +408,18 @@ class _StackedBatch:
         counters = np.zeros((width, 3), dtype=np.int64)
         protector = self.protector
         verify = self.verify_axis if protector is not None else 0
+        # Which slots carry fault plans decides each slot's checksum
+        # *chain*: the replay strategy computes ``np.sum`` checksums on
+        # every step of a hook-driven (fault-carrying) run but trusts
+        # the fused kernel checksums on clean runs, so the stacked loop
+        # reproduces both chains — that keeps records bitwise-identical
+        # to replay on every backend, compiled ones included.
+        fault_slots = np.array(
+            [bool(run_plans) for run_plans in plans], dtype=bool
+        )
+        any_fault = bool(fault_slots.any())
+        all_fault = bool(fault_slots.all())
+        backend = self.backend
 
         start = time.perf_counter()
         interior = interior_view(self.pair.front, self.radius)[..., :width]
@@ -408,8 +428,23 @@ class _StackedBatch:
             # OnlineABFT.step's first-iteration checksum seed.
             prev_cs = np.sum(interior, axis=verify, dtype=self.cs_dtype)
         for t in range(1, iterations + 1):
-            self._refresh(width)
-            self._sweep(width)
+            src = self.pair.front[..., :width]
+            dst = self.pair.back[..., :width]
+            if protector is None or all_fault:
+                # No clean slot wants kernel checksums: take the plain
+                # batched step and reduce after injection (below).
+                backend.batch_step_into(
+                    src, dst, self.spec, self.base_radius, self.base_shape,
+                    self.base_boundary, constant=self.constant,
+                )
+                cs = None
+            else:
+                _, cs_map = backend.batch_step_into_with_checksums(
+                    src, dst, self.spec, self.base_radius, self.base_shape,
+                    self.base_boundary, (verify,), constant=self.constant,
+                    checksum_dtype=self.cs_dtype,
+                )
+                cs = cs_map[verify]
             self.pair.swap()
             interior = interior_view(self.pair.front, self.radius)[..., :width]
             fired = by_iteration.get(t)
@@ -418,7 +453,14 @@ class _StackedBatch:
                     flip_bit_in_array(interior[..., slot], plan.index, plan.bit)
             if protector is None:
                 continue
-            cs = np.sum(interior, axis=verify, dtype=self.cs_dtype)
+            if any_fault:
+                # Post-injection ``np.sum`` chain for fault-carrying
+                # slots, exactly like replay's hook-driven path.
+                post = np.sum(interior, axis=verify, dtype=self.cs_dtype)
+                if cs is None:
+                    cs = post
+                else:
+                    cs[..., fault_slots] = post[..., fault_slots]
             predicted = _interpolate_stacked(
                 prev_cs,
                 self.pair.back[..., :width],
@@ -519,7 +561,8 @@ class _WorkerCampaign:
         self._diff64 = np.empty(self.reference64.shape, dtype=np.float64)
         self._final32 = np.empty(self.grid.shape, dtype=self.grid.dtype)
         self.stacked: Optional[_StackedBatch] = None
-        self.use_stacked = stacked_supported(self.grid, self.protector)
+        self.stacked_reason = stacked_support_reason(self.grid, self.protector)
+        self.use_stacked = self.stacked_reason is None
         # One short warm-up pays the one-off costs (lazy imports, scratch
         # growth, JIT cache loads) outside the timed runs, mirroring the
         # legacy loop's untimed warm-up run.
@@ -527,6 +570,22 @@ class _WorkerCampaign:
         self.protector.run(self.grid, min(3, self.config.iterations))
         self.grid.restore(self.snapshot0)
         self.protector.reset()
+        if self.use_stacked:
+            # Warm the backend's batched layout too (a no-op on the
+            # interpreted backends; the numba backend compiles — or
+            # loads from its disk cache — the bstep/bstep_cs kernels
+            # for both the contiguous full batch and the strided final
+            # partial batch), so no timed stacked batch pays JIT cost.
+            _resolved_backend(self.grid, self.protector).warmup(
+                self.grid.spec,
+                boundary=self.grid.boundary,
+                dtype=self.grid.dtype,
+                checksum_dtype=getattr(
+                    self.protector, "checksum_dtype", np.float64
+                ),
+                radius=self.grid.radius,
+                batch_width=3,
+            )
 
     def _ensure_stacked(self, width: int) -> _StackedBatch:
         # Built lazily (hook-driven campaigns replay and never need the
@@ -548,21 +607,30 @@ class _WorkerCampaign:
         np.multiply(self._diff64, self._diff64, out=self._diff64)
         return float(np.sqrt(np.sum(self._diff64)))
 
-    def execute(self, task: _BatchTask) -> List[Tuple]:
+    def execute(self, task: _BatchTask) -> Tuple[str, Optional[str], List[Tuple]]:
+        """Run one batch; returns ``(strategy, fallback_reason, rows)``.
+
+        ``strategy`` is the strategy actually used (``"stacked"`` |
+        ``"replay"``); ``fallback_reason`` names why replay was chosen
+        when it was (``None`` under stacked).
+        """
         # The stacked fast path only knows how to flip domain values;
         # checksum/ghost/payload-targeted plans replay through the full
         # protector machinery they attack.
         only_domain = all(
             p.target == "domain" for run_plans in task.plans for p in run_plans
         )
-        if (
-            task.hooks is None
-            and not task.force_replay
-            and only_domain
-            and self.use_stacked
-        ):
-            return self._execute_stacked(task)
-        return self._execute_replay(task)
+        if task.force_replay:
+            reason: Optional[str] = "replay strategy requested"
+        elif task.hooks is not None:
+            reason = "opaque inject hook replaces the plan injector"
+        elif not only_domain:
+            reason = "non-domain fault target"
+        else:
+            reason = self.stacked_reason
+        if reason is None:
+            return "stacked", None, self._execute_stacked(task)
+        return "replay", reason, self._execute_replay(task)
 
     def _execute_stacked(self, task: _BatchTask) -> List[Tuple]:
         stacked = self._ensure_stacked(len(task.plans))
@@ -622,7 +690,7 @@ def _trigger_chaos(mode: str) -> None:
     raise ValueError(f"unknown chaos mode {mode!r}; expected {_CHAOS_MODES}")
 
 
-def _execute_batch(task: _BatchTask) -> List[Tuple]:
+def _execute_batch(task: _BatchTask) -> Tuple[str, Optional[str], List[Tuple]]:
     """Worker entry point: resolve (or build) the cached state, run one batch.
 
     Module-level so process pools can import it by reference; the state
@@ -642,7 +710,9 @@ def _execute_batch(task: _BatchTask) -> List[Tuple]:
     return state.execute(task)
 
 
-def _execute_batch_group(tasks: Sequence[_BatchTask]) -> List[List[Tuple]]:
+def _execute_batch_group(
+    tasks: Sequence[_BatchTask],
+) -> List[Tuple[str, Optional[str], List[Tuple]]]:
     """Run a contiguous group of batches in one pool task.
 
     The process executor dispatches one group per worker: all batches of
@@ -821,15 +891,17 @@ class CampaignEngine:
                 self._campaigns.clear()
             self._key_serial += 1
             sample = grid_factory()
+            sample_protector = protector_factory(sample)
             meta = _CampaignMeta(
                 key_prefix=f"engine-{self._token}-{self._key_serial}",
                 shape=sample.shape,
                 dtype=sample.dtype,
-                protector_name=getattr(
-                    protector_factory(sample), "name", "protector"
-                ),
+                protector_name=getattr(sample_protector, "name", "protector"),
                 grid_factory=grid_factory,
                 protector_factory=protector_factory,
+                stacked_reason=stacked_support_reason(
+                    sample, sample_protector
+                ),
             )
             self._campaigns[ident] = meta
         return meta
@@ -849,12 +921,12 @@ class CampaignEngine:
         ).hexdigest()[:12]
         return f"{meta.key_prefix}-i{config.iterations}-r{digest}"
 
-    def _auto_batch(self, repetitions: int) -> int:
+    def _auto_batch(self, repetitions: int, config: CampaignConfig) -> int:
         if self.batch_size is not None:
             return min(self.batch_size, repetitions)
         workers = getattr(self.executor, "workers", 1) or 1
         spread = -(-repetitions // workers)  # ceil
-        return max(1, min(_DEFAULT_BATCH, spread))
+        return max(1, min(resolve_stacked_width(config), spread))
 
     def run(
         self,
@@ -885,10 +957,14 @@ class CampaignEngine:
         strategy:
             ``None``/``"auto"`` picks the fastest eligible strategy per
             campaign; ``"replay"`` forces the per-run replay even where
-            stacking is eligible.  Use ``"replay"`` when the *per-run
-            time distribution* is the experiment's measurand (Figure 8):
-            the stacked strategy executes a whole batch together and can
-            only report the batch-mean elapsed per run.
+            stacking is eligible; ``"stacked"`` demands the stacked fast
+            path and raises ``ValueError`` (naming the fallback reason)
+            when the campaign cannot take it.  Use ``"replay"`` when the
+            *per-run time distribution* is the experiment's measurand
+            (Figure 8): the stacked strategy executes a whole batch
+            together and can only report the batch-mean elapsed per run.
+            The strategy each batch actually used is reported in
+            :attr:`CampaignResult.batch_strategies`.
         """
         if hook_factory is not None and config.inject:
             raise ValueError(
@@ -896,15 +972,44 @@ class CampaignEngine:
                 "inject=False (records would otherwise carry fault plans "
                 "that never fired)"
             )
-        if strategy not in (None, "auto", "replay"):
+        if strategy not in (None, "auto", "stacked", "replay"):
             raise ValueError(
-                f"unknown strategy {strategy!r}; expected 'auto' or 'replay'"
+                f"unknown strategy {strategy!r}; expected 'auto', "
+                f"'stacked' or 'replay'"
             )
         force_replay = strategy == "replay"
         if reference is None:
             reference = compute_reference(grid_factory, config.iterations)
         meta = self._campaign_meta(grid_factory, protector_factory)
         plans = draw_fault_plans(config, meta.shape, meta.dtype)
+        if strategy == "stacked":
+            # Fail fast in the parent: every blocker a worker would hit
+            # is decidable here from the meta sample and the pre-drawn
+            # plans, so a forced-stacked campaign never silently replays.
+            if hook_factory is not None:
+                raise ValueError(
+                    "strategy 'stacked' is unavailable: opaque inject "
+                    "hooks replace the plan injector and force replay"
+                )
+            if meta.stacked_reason is not None:
+                raise ValueError(
+                    f"strategy 'stacked' is unavailable: "
+                    f"{meta.stacked_reason}"
+                )
+            bad_targets = sorted(
+                {
+                    p.target
+                    for run_plans in plans
+                    for p in run_plans
+                    if p.target != "domain"
+                }
+            )
+            if bad_targets:
+                raise ValueError(
+                    f"strategy 'stacked' is unavailable: non-domain "
+                    f"fault target(s) {bad_targets} replay the "
+                    f"protector machinery they attack"
+                )
         hooks = None
         if hook_factory is not None:
             hooks = [hook_factory(i) for i in range(config.repetitions)]
@@ -916,7 +1021,7 @@ class CampaignEngine:
             reference=np.asarray(reference),
         )
         key = self._campaign_key(meta, config, payload.reference)
-        batch = self._auto_batch(config.repetitions)
+        batch = self._auto_batch(config.repetitions, config)
         tasks: List[_BatchTask] = []
         for start in range(0, config.repetitions, batch):
             stop = min(start + batch, config.repetitions)
@@ -943,7 +1048,15 @@ class CampaignEngine:
         result = CampaignResult(
             config=config, protector_name=meta.protector_name
         )
-        for task, rows in zip(tasks, batches):
+        for task, (used, reason, rows) in zip(tasks, batches):
+            result.batch_strategies.append(
+                BatchStrategy(
+                    start=task.start,
+                    width=len(task.plans),
+                    strategy=used,
+                    reason=reason,
+                )
+            )
             for row in rows:
                 run_index, elapsed, error, det, cor, unc, rb, rec = row
                 run_plans = list(plans[run_index])
@@ -965,7 +1078,7 @@ class CampaignEngine:
 
     def _dispatch_process(
         self, executor, tasks: Sequence[_BatchTask]
-    ) -> Dict[int, List[Tuple]]:
+    ) -> Dict[int, Tuple[str, Optional[str], List[Tuple]]]:
         """Supervised dispatch to the process pool, resilient to worker loss.
 
         Each wave submits the still-pending batches as one contiguous
@@ -984,7 +1097,7 @@ class CampaignEngine:
         if self.chaos is not None and pending:
             victim = len(tasks) // 2
             pending[victim] = replace(pending[victim], chaos=self.chaos)
-        results: Dict[int, List[Tuple]] = {}
+        results: Dict[int, Tuple[str, Optional[str], List[Tuple]]] = {}
         attempts = 0
         while pending:
             attempts += 1

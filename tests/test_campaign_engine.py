@@ -375,3 +375,219 @@ class TestProcessExecutorContract:
                     config,
                     reference=reference,
                 )
+
+
+@pytest.fixture()
+def numba_backend_default(tmp_path):
+    """Make the numba backend the process default for one test.
+
+    With numba installed (the CI matrix job) the registered JIT backend
+    is used as-is, so the stacked batches run the compiled ``bstep``
+    kernels; without it, a ``jit=False`` instance executes the same
+    generated source as plain Python, pinning the engine integration
+    everywhere.
+    """
+    from repro.backends import registry as _registry
+    from repro.backends import set_default_backend
+    from repro.backends.codegen import KernelCompiler
+    from repro.backends.numba_backend import NUMBA_AVAILABLE, NumbaBackend
+
+    registered = None
+    if not NUMBA_AVAILABLE:
+        registered = NumbaBackend(
+            compiler=KernelCompiler(cache_dir=tmp_path / "kc", jit=False)
+        )
+        _registry.register_backend(registered)
+    set_default_backend("numba")
+    try:
+        yield
+    finally:
+        set_default_backend(None)
+        if registered is not None:
+            _registry._REGISTRY.pop("numba", None)
+            _registry.register_unavailable_backend(
+                "numba", "numba not installed"
+            )
+
+
+class TestStackedCompiledBackend:
+    """Stacked batches on the numba backend: same records as replay/legacy."""
+
+    @pytest.mark.parametrize(
+        "method", ["no-abft", "online-abft", "offline-abft"]
+    )
+    @pytest.mark.parametrize("inject", [False, True])
+    def test_stacked_replay_and_legacy_agree(
+        self, app, reference, method, inject, numba_backend_default
+    ):
+        factory = make_protector_factory(method, period=4)
+        config = CampaignConfig(
+            iterations=ITERATIONS, repetitions=6, inject=inject, seed=23
+        )
+        legacy = run_campaign(
+            app.build_grid, factory, config, reference=reference
+        )
+        with CampaignEngine(executor="serial") as engine:
+            auto = engine.run(
+                app.build_grid, factory, config, reference=reference
+            )
+            replay = engine.run(
+                app.build_grid, factory, config, reference=reference,
+                strategy="replay",
+            )
+        assert_equivalent(legacy, auto)
+        assert_equivalent(legacy, replay)
+        if method == "offline-abft":
+            assert auto.strategy_counts() == {"replay": 6}
+            assert any(
+                "no stacked implementation" in r
+                for r in auto.fallback_reasons()
+            )
+        else:
+            assert auto.strategy_counts() == {"stacked": 6}
+            assert auto.fallback_reasons() == []
+
+
+class TestStrategyReporting:
+    def test_support_reasons(self, app):
+        from repro.faults.engine import stacked_support_reason
+
+        grid = app.build_grid()
+        assert stacked_support_reason(grid, OnlineABFT.for_grid(grid)) is None
+        assert stacked_support_reason(grid, NoProtection()) is None
+        offline = make_protector_factory("offline-abft", period=4)(grid)
+        assert "no stacked implementation" in stacked_support_reason(
+            grid, offline
+        )
+        eager = OnlineABFT.for_grid(grid, eager_row_checksum=True)
+        assert "eagerly" in stacked_support_reason(grid, eager)
+
+    def test_forced_replay_reports_the_request(self, app, reference):
+        factory = make_protector_factory("online-abft")
+        config = CampaignConfig(iterations=ITERATIONS, repetitions=5, seed=17)
+        with CampaignEngine(executor="serial", batch_size=2) as engine:
+            result = engine.run(
+                app.build_grid, factory, config, reference=reference,
+                strategy="replay",
+            )
+        assert result.strategy_counts() == {"replay": 5}
+        assert [b.width for b in result.batch_strategies] == [2, 2, 1]
+        assert [b.start for b in result.batch_strategies] == [0, 2, 4]
+        assert result.fallback_reasons() == ["replay strategy requested"]
+
+    def test_non_domain_targets_fall_back_with_reason(self, app, reference):
+        from repro.faults.models import make_fault_model
+
+        factory = make_protector_factory("online-abft")
+        config = CampaignConfig(
+            iterations=ITERATIONS, repetitions=4, seed=5,
+            fault_model=make_fault_model("region-checksum"),
+        )
+        with CampaignEngine(executor="serial") as engine:
+            auto = engine.run(
+                app.build_grid, factory, config, reference=reference
+            )
+            with pytest.raises(ValueError, match="non-domain"):
+                engine.run(
+                    app.build_grid, factory, config, reference=reference,
+                    strategy="stacked",
+                )
+        assert auto.strategy_counts() == {"replay": 4}
+        assert any("non-domain" in r for r in auto.fallback_reasons())
+
+    def test_forced_stacked_raises_for_ineligible_protector(
+        self, app, reference
+    ):
+        factory = make_protector_factory("offline-abft", period=4)
+        config = CampaignConfig(iterations=ITERATIONS, repetitions=3, seed=1)
+        with CampaignEngine(executor="serial") as engine:
+            with pytest.raises(ValueError, match="no stacked implementation"):
+                engine.run(
+                    app.build_grid, factory, config, reference=reference,
+                    strategy="stacked",
+                )
+
+    def test_forced_stacked_runs_and_reports_stacked(self, app, reference):
+        factory = make_protector_factory("online-abft")
+        config = CampaignConfig(iterations=ITERATIONS, repetitions=5, seed=17)
+        legacy = run_campaign(
+            app.build_grid, factory, config, reference=reference
+        )
+        with CampaignEngine(executor="serial") as engine:
+            result = engine.run(
+                app.build_grid, factory, config, reference=reference,
+                strategy="stacked",
+            )
+        assert_equivalent(legacy, result)
+        assert result.strategy_counts() == {"stacked": 5}
+
+    def test_legacy_loop_reports_no_batches(self, app, reference):
+        factory = make_protector_factory("online-abft")
+        config = CampaignConfig(iterations=ITERATIONS, repetitions=2, seed=3)
+        legacy = run_campaign(
+            app.build_grid, factory, config, reference=reference
+        )
+        assert legacy.batch_strategies == []
+        assert legacy.strategy_counts() == {}
+
+
+class TestStackedWidth:
+    def test_default_width(self, monkeypatch):
+        from repro.faults.engine import (
+            STACKED_WIDTH_ENV_VAR,
+            resolve_stacked_width,
+        )
+
+        monkeypatch.delenv(STACKED_WIDTH_ENV_VAR, raising=False)
+        assert resolve_stacked_width() == 32
+        assert resolve_stacked_width(
+            CampaignConfig(iterations=1, repetitions=1)
+        ) == 32
+
+    def test_env_override_and_config_precedence(self, monkeypatch):
+        from repro.faults.engine import (
+            STACKED_WIDTH_ENV_VAR,
+            resolve_stacked_width,
+        )
+
+        monkeypatch.setenv(STACKED_WIDTH_ENV_VAR, "7")
+        assert resolve_stacked_width() == 7
+        config = CampaignConfig(iterations=1, repetitions=1, stacked_width=5)
+        assert resolve_stacked_width(config) == 5
+
+    @pytest.mark.parametrize("bad", ["zero", "-2", "0"])
+    def test_invalid_env_values_raise(self, monkeypatch, bad):
+        from repro.faults.engine import (
+            STACKED_WIDTH_ENV_VAR,
+            resolve_stacked_width,
+        )
+
+        monkeypatch.setenv(STACKED_WIDTH_ENV_VAR, bad)
+        with pytest.raises(ValueError, match="REPRO_STACKED_WIDTH"):
+            resolve_stacked_width()
+
+    def test_config_validates_width(self):
+        with pytest.raises(ValueError, match="stacked_width"):
+            CampaignConfig(iterations=1, repetitions=1, stacked_width=0)
+
+    def test_width_caps_the_auto_batch(self, app, reference, monkeypatch):
+        from repro.faults.engine import STACKED_WIDTH_ENV_VAR
+
+        factory = make_protector_factory("online-abft")
+        config = CampaignConfig(
+            iterations=ITERATIONS, repetitions=6, seed=9, stacked_width=2
+        )
+        with CampaignEngine(executor="serial") as engine:
+            result = engine.run(
+                app.build_grid, factory, config, reference=reference
+            )
+        assert [b.width for b in result.batch_strategies] == [2, 2, 2]
+        # Env var path: picked up when the config does not pin a width.
+        monkeypatch.setenv(STACKED_WIDTH_ENV_VAR, "3")
+        config_env = CampaignConfig(iterations=ITERATIONS, repetitions=6, seed=9)
+        with CampaignEngine(executor="serial") as engine:
+            via_env = engine.run(
+                app.build_grid, factory, config_env, reference=reference
+            )
+        assert [b.width for b in via_env.batch_strategies] == [3, 3]
+        assert_equivalent(result, via_env)

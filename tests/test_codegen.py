@@ -383,3 +383,120 @@ def test_generated_step_bit_identical_to_interpreted(case, seed, tmp_path_factor
         posthoc = checksum(expected, axis, dtype=np.float64)
         scale = np.maximum(np.abs(posthoc), 1.0)
         assert float(np.max(np.abs(cs[axis] - posthoc) / scale)) < 1e-10
+
+
+# -- the batched emission strategy ------------------------------------------
+
+class TestBatchPlans:
+    def test_batch_suffix_keyed_into_the_signature(self):
+        spec = _spec2d()
+        layout = _layout((1, 1), BoundaryCondition.clamp(), 2)
+        single = plan_kernel(spec, layout=layout)
+        batched = plan_kernel(spec, layout=layout, batch=True)
+        assert batched.signature == single.signature + "|b"
+        assert batched.digest != single.digest
+
+    def test_batch_requires_a_layout(self):
+        with pytest.raises(ValueError, match="grid layout"):
+            plan_kernel(_spec2d(), batch=True)
+
+    def test_batch_rejects_temporal_blocking(self):
+        layout = _layout((1, 1), BoundaryCondition.clamp(), 2)
+        with pytest.raises(ValueError, match="temporal blocking"):
+            plan_kernel(_spec2d(), layout=layout, batch=True, block_steps=2)
+
+    def test_batch_module_emits_only_the_bstep_family(self):
+        src = emit_module(
+            plan_kernel(
+                _spec2d(),
+                layout=_layout((1, 1), BoundaryCondition.clamp(), 2),
+                batch=True,
+            )
+        )
+        assert "def bstep(" in src and "def bstep_cs(" in src
+        assert "def step(" not in src and "def sweep(" not in src
+        assert 'JIT_FUNCS = ("bstep", "bstep_cs")' in src
+        assert 'PARALLEL_FUNCS = ("bstep", "bstep_cs")' in src
+        assert "prange(nb)" in src
+
+    def test_batched_warmup_time_attribution(self, compiler, backend):
+        backend.warmup(_spec2d(), batch_width=3)
+        kinds = {e["kind"] for e in compiler.stats()}
+        assert kinds == {"sweep", "step", "bstep"}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    case=_cases(),
+    batch=st.sampled_from((1, 3, 8)),
+    with_cs=st.booleans(),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_batched_step_bit_identical_to_single_steps(
+    case, batch, with_cs, seed, tmp_path_factory
+):
+    """Random spec × layout × batch width: bstep ≡ B independent steps.
+
+    The batched kernel must reproduce, slot for slot, exactly what the
+    single-run generated step produces on each slot's buffers — interior,
+    refreshed halo and (when requested) both checksum vectors, all
+    bit-identical.  This is the property that makes stacked-vs-replay a
+    pure throughput choice in the campaign engine.
+    """
+    spec, shape, kinds, external, has_const = case
+    radius = spec.radius()
+    boundary = BoundarySpec.from_any([_bc(k) for k in kinds], spec.ndim)
+    refresh_axes = (
+        tuple(a for a in range(spec.ndim) if a not in external)
+        if external
+        else None
+    )
+    rng = np.random.default_rng(seed)
+    pshape = padded_shape(shape, radius)
+    singles = [
+        rng.standard_normal(pshape).astype(np.float32) for _ in range(batch)
+    ]
+    const = (
+        rng.standard_normal(shape).astype(np.float32) if has_const else None
+    )
+    bsrc = np.stack(singles, axis=-1)
+    bdst = np.full(bsrc.shape, np.nan, dtype=np.float32)
+
+    compiler = KernelCompiler(
+        cache_dir=tmp_path_factory.mktemp("bprop"), jit=False
+    )
+    backend = NumbaBackend(compiler=compiler)
+    if with_cs:
+        got, cs = backend.batch_step_into_with_checksums(
+            bsrc, bdst, spec, radius, shape, boundary, (0, 1),
+            constant=const, checksum_dtype=np.float64,
+            refresh_axes=refresh_axes,
+        )
+    else:
+        got = backend.batch_step_into(
+            bsrc, bdst, spec, radius, shape, boundary, constant=const,
+            refresh_axes=refresh_axes,
+        )
+
+    for b in range(batch):
+        ssrc = singles[b].copy()
+        sdst = np.full(pshape, np.nan, dtype=np.float32)
+        if with_cs:
+            want, want_cs = backend.step_into_with_checksums(
+                ssrc, sdst, spec, radius, shape, boundary, (0, 1),
+                constant=const, checksum_dtype=np.float64,
+                refresh_axes=refresh_axes,
+            )
+        else:
+            want = backend.step_into(
+                ssrc, sdst, spec, radius, shape, boundary, constant=const,
+                refresh_axes=refresh_axes,
+            )
+        np.testing.assert_array_equal(got[..., b], want)
+        # Per-slot ghost refresh, corners included, matches the single
+        # step's refresh of that slot.
+        np.testing.assert_array_equal(bsrc[..., b], ssrc)
+        np.testing.assert_array_equal(bdst[..., b], sdst)
+        if with_cs:
+            for axis in (0, 1):
+                np.testing.assert_array_equal(cs[axis][..., b], want_cs[axis])
