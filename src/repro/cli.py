@@ -204,6 +204,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="boundary condition of the global domain (periodic enables "
         "temporal blocking along the distributed axis)",
     )
+    dist.add_argument(
+        "--crash-rank", type=int, default=None, metavar="R",
+        help="fail-stop rank R mid-run and recover it from its buddy "
+        "checkpoint (default victim when only --crash-iter is given: "
+        "rank 1)",
+    )
+    dist.add_argument(
+        "--crash-iter", type=int, default=None, metavar="T",
+        help="iteration at which the crashed rank stops responding "
+        "(default when only --crash-rank is given: iters // 2)",
+    )
+    dist.add_argument(
+        "--checkpoint-period", type=int, default=None, metavar="P",
+        help="buddy-checkpoint period in iterations (default: the ABFT "
+        "detection period, 16, rounded up to a blocked-window boundary)",
+    )
 
     camp = subparsers.add_parser(
         "campaign",
@@ -233,11 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-model", default=None, metavar="NAME",
         help="pluggable fault model for injected runs (see `repro.faults."
         "models`): bitflip (paper default), burst, mtbf, region, "
-        "region-checksum, region-ghost, region-payload",
+        "region-checksum, region-ghost, region-payload, rank-crash, "
+        "rank-crash-mtbf (fail-stop runs execute on the distributed "
+        "buddy-checkpoint recovery path)",
     )
     camp.add_argument(
         "--mtbf", type=float, default=64.0,
-        help="mean iterations between faults for --fault-model mtbf",
+        help="mean iterations between faults for --fault-model mtbf "
+        "(also the crash-arrival mean for rank-crash-mtbf)",
     )
     camp.add_argument(
         "--burst-size", type=int, default=3,
@@ -254,6 +273,25 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--faults-per-run", type=int, default=1,
         help="independent faults per run for the bitflip model",
+    )
+    camp.add_argument(
+        "--crash-ranks", type=int, default=4, metavar="N",
+        help="simulated rank count for the rank-crash models",
+    )
+    camp.add_argument(
+        "--crash-rank", type=int, default=None, metavar="R",
+        help="pin the crash victim rank for rank-crash "
+        "(default: uniform random)",
+    )
+    camp.add_argument(
+        "--crash-iter", type=int, default=None, metavar="T",
+        help="pin the crash iteration for rank-crash "
+        "(default: uniform random)",
+    )
+    camp.add_argument(
+        "--crash-bitflips", type=int, default=0, metavar="K",
+        help="extra uniform bit flips mixed into every rank-crash draw "
+        "(combined fail-stop + silent-fault runs)",
     )
     camp.add_argument(
         "--period", type=int, default=16,
@@ -319,8 +357,34 @@ def _run_distributed(args) -> int:
         protect=not args.no_protect,
         backend=args.backend,
         block_steps=args.block_steps,
+        checkpoint_period=args.checkpoint_period,
     )
-    runner.run(args.iters)
+    inject = None
+    crash_requested = args.crash_rank is not None or args.crash_iter is not None
+    if crash_requested:
+        from repro.faults.injector import FaultPlan
+        from repro.faults.models import DistributedFaultInjector
+
+        victim = args.crash_rank if args.crash_rank is not None else 1 % args.ranks
+        if not 0 <= victim < args.ranks:
+            raise SystemExit(
+                f"error: --crash-rank {victim} out of range for "
+                f"{args.ranks} ranks"
+            )
+        crash_iter = (
+            args.crash_iter
+            if args.crash_iter is not None
+            else max(1, args.iters // 2)
+        )
+        per_rank = [[] for _ in range(args.ranks)]
+        per_rank[victim] = [
+            FaultPlan(
+                iteration=crash_iter, index=(), bit=0, target="crash",
+                rank=victim,
+            )
+        ]
+        inject = DistributedFaultInjector(runner, per_rank)
+    runner.run(args.iters, inject=inject)
 
     gathered = runner.gather()
     checksum = float(gathered.sum(dtype=np.float64))
@@ -346,6 +410,29 @@ def _run_distributed(args) -> int:
         f"halo traffic    : {runner.channel.messages_sent} messages, "
         f"{runner.channel.bytes_sent} bytes"
     )
+    by_tag = runner.channel.messages_by_tag
+    ckpt_msgs = by_tag.get("ckpt", 0) + by_tag.get("ckpt_meta", 0)
+    if ckpt_msgs:
+        bytes_by_tag = runner.channel.bytes_by_tag
+        ckpt_bytes = bytes_by_tag.get("ckpt", 0) + bytes_by_tag.get(
+            "ckpt_meta", 0
+        )
+        stats = runner.recovery
+        print(
+            f"checkpointing   : period {runner.checkpoint_period}, "
+            f"{stats.checkpoints_taken} checkpoints, "
+            f"{ckpt_msgs} messages, {ckpt_bytes} bytes to buddies"
+        )
+    if runner.recovery.rank_failures:
+        stats = runner.recovery
+        print(
+            f"recovery        : {stats.rank_failures} rank "
+            f"failure{'s' if stats.rank_failures != 1 else ''}, "
+            f"{stats.ranks_rebuilt} rebuilt from buddy, "
+            f"{stats.rollbacks} rollback{'s' if stats.rollbacks != 1 else ''} "
+            f"(max depth {stats.max_rollback_depth}), "
+            f"{stats.replayed_iterations} iterations replayed"
+        )
     for rank in runner.ranks:
         if rank.protector is None:
             print(f"rank {rank.rank}: shape {rank.shape}, unprotected")
@@ -387,6 +474,15 @@ def _run_campaign_cli(args) -> int:
             params["spread"] = args.burst_spread
         elif args.fault_model == "bitflip":
             params["faults_per_run"] = args.faults_per_run
+        elif args.fault_model in ("rank-crash", "rank-crash-mtbf"):
+            params["n_ranks"] = args.crash_ranks
+            params["bitflips"] = args.crash_bitflips
+            if args.crash_rank is not None:
+                params["rank"] = args.crash_rank
+            if args.fault_model == "rank-crash-mtbf":
+                params["mtbf"] = args.mtbf
+            elif args.crash_iter is not None:
+                params["at_iteration"] = args.crash_iter
         if args.bit is not None:
             params["bit"] = args.bit
         fault_model = make_fault_model(args.fault_model, **params)
@@ -461,6 +557,15 @@ def _run_campaign_cli(args) -> int:
         print(
             f"faults   : none injected, false-positive rate "
             f"{100 * result.false_positive_rate():.1f}%"
+        )
+    rebuilt = sum(r.ranks_rebuilt for r in result.records)
+    ck_bytes = sum(r.checkpoint_bytes for r in result.records)
+    if rebuilt or ck_bytes:
+        crashed_runs = sum(1 for r in result.records if r.ranks_rebuilt)
+        print(
+            f"recovery : {crashed_runs}/{len(result.records)} runs lost a "
+            f"rank, {rebuilt} rank{'s' if rebuilt != 1 else ''} rebuilt "
+            f"from buddy checkpoints ({ck_bytes} checkpoint bytes shipped)"
         )
     return 0
 

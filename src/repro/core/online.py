@@ -202,6 +202,41 @@ class OnlineABFT(Protector):
         self.total_uncorrected = 0
         self.total_metadata_repairs = 0
 
+    def state_snapshot(self) -> dict:
+        """Checkpointable protector state (buddy checkpointing).
+
+        Captures the stored previous-step checksum vectors and the four
+        running counters — everything :meth:`state_restore` needs to
+        resume verification bit-for-bit from a rolled-back domain.  The
+        self-check duplicates are not shipped: restore re-derives them
+        through :meth:`_store_prev_cs`, so a checkpointed protector is
+        always internally consistent.
+        """
+        return {
+            "prev_cs": {
+                axis: (None if cs is None else cs.copy())
+                for axis, cs in self._prev_cs.items()
+            },
+            "counters": (
+                self.total_detections,
+                self.total_corrections,
+                self.total_uncorrected,
+                self.total_metadata_repairs,
+            ),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Restore :meth:`state_snapshot` state (rollback recovery)."""
+        for axis in (0, 1):
+            cs = state["prev_cs"].get(axis)
+            self._store_prev_cs(axis, None if cs is None else cs.copy())
+        (
+            self.total_detections,
+            self.total_corrections,
+            self.total_uncorrected,
+            self.total_metadata_repairs,
+        ) = (int(c) for c in state["counters"])
+
     def _checksum(self, u: np.ndarray, axis: int) -> np.ndarray:
         be = self.backend if self.backend is not None else get_backend()
         return be.checksum(u, axis, dtype=self.checksum_dtype)

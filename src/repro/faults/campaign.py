@@ -36,6 +36,8 @@ __all__ = [
     "RunRecord",
     "CampaignResult",
     "resolve_run_counters",
+    "crash_run_counters",
+    "run_with_crashes",
     "run_campaign",
 ]
 
@@ -70,7 +72,11 @@ class CampaignConfig:
         plans.  ``None`` (the default) resolves to
         :class:`~repro.faults.models.SingleBitFlip` built from
         ``faults_per_run``/``bit`` — the legacy paper model, with RNG
-        draws bit-identical to the historical loop.
+        draws bit-identical to the historical loop.  Models that draw
+        fail-stop plans (:class:`~repro.faults.models.RankCrash`) route
+        their runs through the distributed runner's buddy-checkpoint
+        recovery path (:func:`run_with_crashes`); the engine executes
+        such runs on its replay path with the recorded fallback reason.
     stacked_width:
         Cap on the engine's stacked batch width (runs laid out along the
         trailing axis of one buffer pair).  ``None`` (the default)
@@ -127,6 +133,11 @@ class RunRecord:
     rollbacks: int
     recomputed_iterations: int
     faults: List[FaultPlan] = field(default_factory=list)
+    #: Ranks rebuilt from a buddy checkpoint (fail-stop runs; 0 for
+    #: SDC-only runs, which never lose a rank).
+    ranks_rebuilt: int = 0
+    #: Bytes shipped to buddies for checkpointing during the run.
+    checkpoint_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.fault is not None and not self.faults:
@@ -323,6 +334,89 @@ def resolve_run_counters(protector: Protector, run_report) -> tuple:
     )
 
 
+def crash_run_counters(runner) -> tuple:
+    """Per-run counters of a distributed (fail-stop) campaign run.
+
+    Returns the five classic counters (detections, corrections,
+    uncorrected, rollbacks, recomputed iterations) followed by the two
+    recovery-accounting extras (ranks rebuilt, checkpoint bytes).  The
+    rollback/recompute slots are fed by the runner's
+    :class:`~repro.parallel.simmpi.RecoveryStats` — for fail-stop runs
+    the rollback *is* the checkpoint restore and the recomputation is
+    the replayed iteration span, the distributed analogue of the serial
+    offline-ABFT counters.
+    """
+    uncorrected = sum(
+        r.protector.total_uncorrected
+        for r in runner.ranks
+        if r.protector is not None
+    )
+    stats = runner.recovery
+    return (
+        runner.total_detected(),
+        runner.total_corrected(),
+        int(uncorrected),
+        stats.rollbacks,
+        stats.replayed_iterations,
+        stats.ranks_rebuilt,
+        stats.checkpoint_bytes,
+    )
+
+
+def run_with_crashes(
+    grid: GridBase,
+    protector: Protector,
+    plans: Sequence[FaultPlan],
+    iterations: int,
+    fault_model: FaultModel,
+):
+    """Execute one campaign run that includes fail-stop (crash) plans.
+
+    Crash plans have no serial meaning — a single process cannot lose a
+    rank — so the run is executed on the simulated distributed runner
+    with buddy checkpointing auto-enabled, scattering the grid over
+    ``fault_model.n_ranks`` ranks (default 2).  Domain plans in the same
+    draw are mapped onto the owning ranks, so combined crash + SDC draws
+    exercise detection, correction *and* recovery in one run.
+
+    The serial ``protector`` is not stepped; it only selects the
+    distributed protection mode: :class:`~repro.core.online.OnlineABFT`
+    runs protected ranks (same per-rank configuration the runner builds
+    everywhere else), :class:`~repro.core.protector.NoProtection` runs
+    bare ranks.  Other protectors (e.g. offline ABFT) have no per-rank
+    distributed counterpart and are rejected.
+
+    Returns ``(elapsed_seconds, runner)``; pull the final domain from
+    ``runner.gather()`` and the counters via :func:`crash_run_counters`.
+    """
+    from repro.core.online import OnlineABFT
+    from repro.core.protector import NoProtection
+    from repro.faults.models import DistributedFaultInjector
+    from repro.parallel.simmpi import DistributedStencilRunner
+
+    if isinstance(protector, OnlineABFT):
+        protect = True
+    elif isinstance(protector, NoProtection):
+        protect = False
+    else:
+        raise ValueError(
+            f"fail-stop campaign runs support the 'online-abft' and "
+            f"'no-abft' protectors; got {getattr(protector, 'name', type(protector).__name__)!r}"
+        )
+    n_ranks = int(getattr(fault_model, "n_ranks", 2))
+    runner = DistributedStencilRunner(
+        grid,
+        n_ranks=n_ranks,
+        protect=protect,
+        backend=getattr(protector, "backend", None),
+    )
+    injector = DistributedFaultInjector.from_global(runner, plans)
+    start = time.perf_counter()
+    runner.run(iterations, inject=injector)
+    elapsed = time.perf_counter() - start
+    return elapsed, runner
+
+
 def compute_reference(grid_factory: GridFactory, iterations: int) -> np.ndarray:
     """Error-free reference solution (the paper's single-threaded run)."""
     grid = grid_factory()
@@ -385,6 +479,32 @@ def run_campaign(
             )
             # MTBF-style models legitimately draw no fault for a run.
             plan = plans[0] if plans else None
+            if any(p.target == "crash" for p in plans):
+                # Fail-stop plans cannot fire in a serial run: execute on
+                # the distributed runner with buddy-checkpoint recovery.
+                elapsed, runner = run_with_crashes(
+                    grid, protector, plans, config.iterations, fault_model
+                )
+                det, cor, unc, rb, rec, rebuilt, ck_bytes = (
+                    crash_run_counters(runner)
+                )
+                result.records.append(
+                    RunRecord(
+                        run_index=run_index,
+                        elapsed_seconds=elapsed,
+                        arithmetic_error=l2_error(reference, runner.gather()),
+                        fault=plan,
+                        errors_detected=int(det),
+                        errors_corrected=int(cor),
+                        errors_uncorrected=int(unc),
+                        rollbacks=int(rb),
+                        recomputed_iterations=int(rec),
+                        faults=plans,
+                        ranks_rebuilt=int(rebuilt),
+                        checkpoint_bytes=int(ck_bytes),
+                    )
+                )
+                continue
             injector = make_injector(plans, protector)
 
         start = time.perf_counter()

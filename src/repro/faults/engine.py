@@ -43,7 +43,8 @@ Two run strategies share that lifecycle:
     path).  Used for the offline protector (checkpoint/rollback state),
     custom protectors, custom inject hooks, and non-domain fault
     targets (checksum/ghost/payload strikes must replay the exact
-    machinery they attack).
+    machinery they attack; fail-stop crash plans additionally route to
+    the distributed runner's buddy-checkpoint recovery path).
 
 ``stacked``
     The batched fast path: the whole batch of runs is laid out as one
@@ -101,7 +102,9 @@ from repro.faults.campaign import (
     ProtectorFactory,
     RunRecord,
     compute_reference,
+    crash_run_counters,
     resolve_run_counters,
+    run_with_crashes,
 )
 from repro.faults.injector import FaultPlan
 from repro.faults.models import make_injector
@@ -645,13 +648,16 @@ class _WorkerCampaign:
             error = self._l2_error(self._final32)
             det, cor, unc = (int(v) for v in counters[slot])
             results.append(
-                (task.start + slot, per_run, error, det, cor, unc, 0, 0)
+                (task.start + slot, per_run, error, det, cor, unc, 0, 0, 0, 0)
             )
         return results
 
     def _execute_replay(self, task: _BatchTask) -> List[Tuple]:
         results: List[Tuple] = []
         for slot, run_plans in enumerate(task.plans):
+            if any(p.target == "crash" for p in run_plans):
+                results.append(self._execute_crash(task.start + slot, run_plans))
+                continue
             self.grid.restore(self.snapshot0)
             self.protector.reset()
             if task.hooks is not None:
@@ -666,9 +672,37 @@ class _WorkerCampaign:
             det, cor, unc, rb, rec = resolve_run_counters(self.protector, report)
             error = self._l2_error(self.grid.u)
             results.append(
-                (task.start + slot, elapsed, error, det, cor, unc, rb, rec)
+                (task.start + slot, elapsed, error, det, cor, unc, rb, rec, 0, 0)
             )
         return results
+
+    def _execute_crash(self, run_index: int, run_plans) -> Tuple:
+        """One fail-stop run on the distributed recovery path.
+
+        The persistent grid is restored to the shared initial state and
+        handed to :func:`run_with_crashes` exactly as the legacy loop
+        hands it a fresh factory grid — the runner scatters a copy, so
+        the worker's persistent buffers survive untouched for the next
+        slot.  Counters and recovery accounting come from the same
+        :func:`crash_run_counters` helper, keeping engine records
+        bitwise-identical to the serial loop.
+        """
+        self.grid.restore(self.snapshot0)
+        self.protector.reset()
+        elapsed, runner = run_with_crashes(
+            self.grid,
+            self.protector,
+            list(run_plans),
+            self.config.iterations,
+            self.config.resolved_fault_model(),
+        )
+        det, cor, unc, rb, rec, rebuilt, ck_bytes = crash_run_counters(runner)
+        self._final32[...] = runner.gather()
+        error = self._l2_error(self._final32)
+        return (
+            run_index, elapsed, error, int(det), int(cor), int(unc),
+            int(rb), int(rec), int(rebuilt), int(ck_bytes),
+        )
 
 
 _WORKER_LOCAL = threading.local()
@@ -1058,7 +1092,10 @@ class CampaignEngine:
                 )
             )
             for row in rows:
-                run_index, elapsed, error, det, cor, unc, rb, rec = row
+                (
+                    run_index, elapsed, error, det, cor, unc, rb, rec,
+                    rebuilt, ck_bytes,
+                ) = row
                 run_plans = list(plans[run_index])
                 result.records.append(
                     RunRecord(
@@ -1072,6 +1109,8 @@ class CampaignEngine:
                         rollbacks=int(rb),
                         recomputed_iterations=int(rec),
                         faults=run_plans,
+                        ranks_rebuilt=int(rebuilt),
+                        checkpoint_bytes=int(ck_bytes),
                     )
                 )
         return result

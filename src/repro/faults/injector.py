@@ -76,6 +76,9 @@ class FaultPlan:
         ``index`` the point within it). ``"payload"`` corrupts an
         in-flight :class:`~repro.parallel.simmpi.SimChannel` message
         (``index[0]`` is the flat element offset within the payload).
+        ``"crash"`` is a fail-stop failure, not an SDC: the ``rank``
+        stops posting and answering messages at the start of
+        ``iteration`` (``index``/``bit`` are unused).
     axis:
         Checksum/halo axis for the ``checksum`` and ``ghost`` targets.
     side:
@@ -84,9 +87,13 @@ class FaultPlan:
     action:
         In-flight action for the ``payload`` target: ``"corrupt"``
         (default, a bit flip the channel CRC detects) or ``"drop"``.
+    rank:
+        Victim rank for the ``crash`` target. May be ``None`` in the
+        per-rank plan-list form (``plans_by_rank``), where the list
+        position already names the victim.
     """
 
-    TARGETS = ("domain", "checksum", "ghost", "payload")
+    TARGETS = ("domain", "checksum", "ghost", "payload", "crash")
 
     iteration: int
     index: Tuple[int, ...]
@@ -95,6 +102,7 @@ class FaultPlan:
     axis: int = 0
     side: int = 0
     action: str = "corrupt"
+    rank: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.iteration = int(self.iteration)
@@ -104,6 +112,10 @@ class FaultPlan:
         self.axis = int(self.axis)
         self.side = int(self.side)
         self.action = str(self.action)
+        if self.rank is not None:
+            self.rank = int(self.rank)
+            if self.rank < 0:
+                raise ValueError("crash victim rank must be non-negative")
         if self.iteration < 1:
             raise ValueError("fault iterations are 1-based; got iteration < 1")
         if self.bit < 0:

@@ -64,6 +64,7 @@ __all__ = [
     "MultiBitBurst",
     "PoissonArrival",
     "RegionTargeted",
+    "RankCrash",
     "register_fault_model",
     "make_fault_model",
     "available_fault_models",
@@ -344,6 +345,119 @@ class RegionTargeted(FaultModel):
         ]
 
 
+@dataclass(frozen=True)
+class RankCrash(FaultModel):
+    """Fail-stop rank death for the distributed runner.
+
+    Unlike every other model in this registry, a crash is not a silent
+    corruption: the victim rank stops posting and answering messages at
+    the start of the crash iteration, and the runner's buddy-checkpoint
+    recovery must bring it back.  Deterministic experiments pin
+    ``at_iteration`` and ``rank``; leaving either ``None`` draws it
+    uniformly.  Setting ``mtbf`` instead samples the crash time from
+    the same exponential arrival process as :class:`PoissonArrival`
+    (one system-wide crash process — a run whose first arrival falls
+    beyond the horizon legitimately crashes no rank, so campaigns see
+    a realistic mix of disturbed and undisturbed runs).
+
+    ``bitflips`` extra uniform SDC plans are mixed into the same draw,
+    so one model covers the combined fail-stop + silent-fault scenario
+    the recovery path must survive.
+    """
+
+    at_iteration: Optional[int] = None
+    rank: Optional[int] = None
+    mtbf: Optional[float] = None
+    n_ranks: int = 4
+    bitflips: int = 0
+    bit: Optional[int] = None
+
+    name = "rank-crash"
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 2:
+            raise ValueError(
+                "rank-crash needs n_ranks >= 2: a sole rank has no buddy "
+                "to recover from"
+            )
+        if self.at_iteration is not None and self.at_iteration < 1:
+            raise ValueError("crash iterations are 1-based; got < 1")
+        if self.rank is not None and not 0 <= self.rank < self.n_ranks:
+            raise ValueError(
+                f"crash rank {self.rank} out of range for {self.n_ranks} ranks"
+            )
+        if self.mtbf is not None and not self.mtbf > 0:
+            raise ValueError("mtbf must be > 0 iterations")
+        if self.at_iteration is not None and self.mtbf is not None:
+            raise ValueError("pin at_iteration or draw from mtbf, not both")
+        if self.bitflips < 0:
+            raise ValueError("bitflips must be >= 0")
+
+    def _draw_crash(self, rng, iterations: int) -> Tuple[Optional[int], int]:
+        """(crash iteration or None, victim rank) — fixed RNG order."""
+        if self.at_iteration is not None:
+            iteration: Optional[int] = int(self.at_iteration)
+        elif self.mtbf is not None:
+            t = float(rng.exponential(self.mtbf))
+            iteration = int(np.floor(t)) + 1 if t < iterations else None
+        else:
+            iteration = int(rng.integers(1, iterations + 1))
+        victim = self.rank
+        if victim is None:
+            victim = int(rng.integers(0, self.n_ranks))
+        return iteration, int(victim)
+
+    def draw(self, rng, shape, iterations, dtype=np.float32) -> List[FaultPlan]:
+        if iterations < 1:
+            raise ValueError("need at least one iteration to inject into")
+        iteration, victim = self._draw_crash(rng, iterations)
+        plans: List[FaultPlan] = []
+        if iteration is not None:
+            plans.append(
+                FaultPlan(
+                    iteration=iteration,
+                    index=(),
+                    bit=0,
+                    target="crash",
+                    rank=victim,
+                )
+            )
+        for _ in range(self.bitflips):
+            plans.append(
+                random_fault_plan(rng, shape, iterations, dtype=dtype, bit=self.bit)
+            )
+        return plans
+
+    def draw_for_ranks(
+        self, rng, shapes, iterations, dtype=np.float32
+    ) -> List[List[FaultPlan]]:
+        n = len(shapes)
+        if n != self.n_ranks:
+            raise ValueError(
+                f"model is configured for {self.n_ranks} ranks, runner has {n}"
+            )
+        iteration, victim = self._draw_crash(rng, iterations)
+        per_rank: List[List[FaultPlan]] = [[] for _ in shapes]
+        if iteration is not None:
+            per_rank[victim].append(
+                FaultPlan(
+                    iteration=iteration,
+                    index=(),
+                    bit=0,
+                    target="crash",
+                    rank=victim,
+                )
+            )
+        for _ in range(self.bitflips):
+            r = int(rng.integers(0, n))
+            per_rank[r].append(
+                random_fault_plan(
+                    rng, shapes[r], iterations, dtype=dtype, bit=self.bit
+                )
+            )
+        return per_rank
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -378,6 +492,11 @@ def _region_factory(region: str) -> Callable[..., FaultModel]:
     return build
 
 
+def _crash_mtbf_factory(**kwargs) -> FaultModel:
+    kwargs.setdefault("mtbf", 64.0)
+    return RankCrash(**kwargs)
+
+
 register_fault_model("bitflip", SingleBitFlip)
 register_fault_model("burst", MultiBitBurst)
 register_fault_model("mtbf", PoissonArrival)
@@ -385,6 +504,8 @@ register_fault_model("region", RegionTargeted)
 register_fault_model("region-checksum", _region_factory("checksum"))
 register_fault_model("region-ghost", _region_factory("ghost"))
 register_fault_model("region-payload", _region_factory("payload"))
+register_fault_model("rank-crash", RankCrash)
+register_fault_model("rank-crash-mtbf", _crash_mtbf_factory)
 
 
 # ---------------------------------------------------------------------------
@@ -512,7 +633,7 @@ def make_injector(
         return None
     domain = [p for p in plans if p.target == "domain"]
     checksum = [p for p in plans if p.target == "checksum"]
-    other = [p for p in plans if p.target in ("ghost", "payload")]
+    other = [p for p in plans if p.target in ("ghost", "payload", "crash")]
     if other:
         raise ValueError(
             f"{other[0].target!r}-targeted plans require a distributed run "
@@ -571,17 +692,43 @@ class DistributedFaultInjector:
             for r, rank_plans in enumerate(self.plans_by_rank)
             for i, _ in enumerate(rank_plans)
         }
+        flat = self.plans
+        self.has_crash_plans = any(p.target == "crash" for p in flat)
+        if self.has_crash_plans:
+            if n_ranks < 2:
+                raise ValueError(
+                    "crash plans need n_ranks >= 2: a sole rank has no "
+                    "buddy checkpoint to recover from"
+                )
+            if any(p.target == "payload" for p in flat):
+                raise ValueError(
+                    "payload and crash plans cannot be combined: in-flight "
+                    "faults address absolute send ordinals, which shift "
+                    "when recovery replays the halo stream (combine "
+                    "crashes with domain/checksum/ghost faults instead)"
+                )
         self._schedule_payload_faults(runner)
 
     @classmethod
     def from_global(cls, runner, plans: Sequence[FaultPlan]) -> "DistributedFaultInjector":
-        """Map global-domain plans onto the owning ranks' local indices."""
+        """Map global-domain (and crash) plans onto the owning ranks."""
         per_rank: List[List[FaultPlan]] = [[] for _ in runner.ranks]
         for plan in plans:
+            if plan.target == "crash":
+                # Crash plans carry their victim explicitly — there is no
+                # global index to translate.
+                r = plan.rank if plan.rank is not None else 0
+                if not 0 <= r < len(per_rank):
+                    raise ValueError(
+                        f"crash victim rank {r} out of range for "
+                        f"{len(per_rank)} ranks"
+                    )
+                per_rank[r].append(plan)
+                continue
             if plan.target != "domain":
                 raise ValueError(
-                    "from_global only maps 'domain' plans; draw other "
-                    "targets per rank with draw_for_ranks"
+                    "from_global only maps 'domain' and 'crash' plans; "
+                    "draw other targets per rank with draw_for_ranks"
                 )
             r, local = runner.rank_of_global_index(plan.index)
             per_rank[r].append(
@@ -634,18 +781,13 @@ class DistributedFaultInjector:
                     )
                 position = sends.index((r, side)) + 1
                 ordinal = (plan.iteration - 1) * per_iter + position
-                sim_rank = runner.ranks[r]
-                interior_shape = sim_rank.shape
-                width = runner.halo_width
-                payload_size = width * int(
-                    np.prod(
-                        [
-                            n
-                            for ax, n in enumerate(interior_shape)
-                            if ax != runner.axis
-                        ]
+                from repro.parallel.halo import strip_size
+
+                payload_size = 1
+                if runner.halo_width >= 1:
+                    payload_size = strip_size(
+                        runner.ranks[r].shape, runner.axis, runner.halo_width
                     )
-                )
                 offset = plan.index[0] % max(1, payload_size)
                 runner.channel.schedule_fault(
                     ordinal, action=plan.action, index=(offset,), bit=plan.bit
@@ -673,6 +815,51 @@ class DistributedFaultInjector:
                 # Armed on the channel at construction; mark as consumed
                 # once its iteration passes.
                 self._fired[(rank.rank, i)] = True
+            elif plan.target == "crash":
+                # Fail-stop plans are delivered by apply_crashes at the
+                # start of the iteration, never by the post-sweep hook.
+                continue
+
+    def apply_crashes(self, runner, iteration: int) -> None:
+        """Deliver due fail-stop plans: the victim goes silent.
+
+        Called by the runner at the *start* of ``iteration``, before any
+        halo is posted: the struck :class:`~repro.parallel.simmpi.SimRank`
+        stops posting and answering messages, and the channel marks the
+        rank failed so the next liveness check (or recv on the dead
+        link) raises :class:`~repro.parallel.simmpi.RankFailure`.
+        """
+        for r, rank_plans in enumerate(self.plans_by_rank):
+            for i, plan in enumerate(rank_plans):
+                if (
+                    plan.target != "crash"
+                    or self._fired[(r, i)]
+                    or plan.iteration != iteration
+                ):
+                    continue
+                self._fired[(r, i)] = True
+                victim = plan.rank if plan.rank is not None else r
+                runner.ranks[victim].alive = False
+                runner.channel.mark_failed(victim)
+
+    def rewind(self, iteration: int) -> None:
+        """Re-arm SDC plans inside a rolled-back window (recovery replay).
+
+        A transient *soft error* that struck after the restored
+        checkpoint is part of the trajectory being replayed, so every
+        non-crash plan with ``plan.iteration > iteration`` fires again —
+        that is what keeps a recovered run bitwise-identical to the
+        failure-free run under concurrent SDC injection.  Crash plans
+        stay fired: a rebuilt rank does not re-die.
+        """
+        for (r, i), fired in self._fired.items():
+            if not fired:
+                continue
+            plan = self.plans_by_rank[r][i]
+            if plan.target == "crash":
+                continue
+            if plan.iteration > iteration:
+                self._fired[(r, i)] = False
 
     def inject_ghosts(self, runner, iteration: int, rank) -> None:
         """Pre-sweep target: a just-ingested ghost slab of ``rank``."""

@@ -42,10 +42,12 @@ communication structure matches a 1D-decomposed MPI stencil code.
 
 from __future__ import annotations
 
+import time as _time
 import zlib
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -64,12 +66,34 @@ from repro.stencil.doublebuffer import DoubleBufferedGrid
 from repro.stencil.grid import GridBase
 from repro.stencil.spec import StencilSpec
 
-__all__ = ["ChannelError", "SimChannel", "SimRank", "DistributedStencilRunner"]
+__all__ = [
+    "ChannelError",
+    "RankFailure",
+    "CheckpointCorrupt",
+    "RecoveryError",
+    "RankCheckpoint",
+    "RecoveryStats",
+    "SimChannel",
+    "SimRank",
+    "DistributedStencilRunner",
+]
 
 #: Default axis along which the domain is distributed across ranks.
 #: :class:`DistributedStencilRunner` accepts any axis via ``axis=`` —
 #: every decomposition axis runs the same compiled fused step.
 DISTRIBUTED_AXIS = 0
+
+#: Default checkpoint period: the ABFT detection period Δ (the offline
+#: protector's default ``period``).  A checkpoint is exactly an offline
+#: detection point — state committed only after verification — so the
+#: buddy-checkpoint cadence defaults to the same rule.
+DETECTION_PERIOD = 16
+
+#: Channel tags of the buddy-checkpoint shipments (domain payload and
+#: packed metadata vector), counted in :meth:`SimChannel.traffic` per
+#: tag alongside halo traffic.
+CKPT_TAG = "ckpt"
+CKPT_META_TAG = "ckpt_meta"
 
 
 class ChannelError(RuntimeError):
@@ -77,6 +101,39 @@ class ChannelError(RuntimeError):
 
     Subclasses :class:`RuntimeError` so existing callers that guarded the
     old generic error keep working.
+    """
+
+
+class RankFailure(ChannelError):
+    """A peer stopped answering: the fail-stop verdict of the channel.
+
+    Raised by :meth:`SimChannel.recv` when the source rank has been
+    declared failed and its mailbox holds nothing, and by
+    :meth:`SimChannel.check_liveness` when a heartbeat round finds a
+    failed rank.  ``rank`` names the dead peer so the runner's recovery
+    path knows whom to rebuild.
+    """
+
+    def __init__(self, rank: int, message: str) -> None:
+        super().__init__(message)
+        self.rank = int(rank)
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint failed its integrity check and must not be restored.
+
+    Raised when a checkpoint's domain payload no longer matches its
+    (self-checked) checksum vector — restoring it would resurrect
+    corrupted state, so recovery refuses.
+    """
+
+
+class RecoveryError(RuntimeError):
+    """Rank-failure recovery is impossible in the current configuration.
+
+    Examples: no checkpointing enabled when a rank died, a failed rank
+    whose buddy also died (the in-memory copy is gone), or a sole rank
+    with no buddy at all.
     """
 
 
@@ -120,29 +177,90 @@ class SimChannel:
         — the unprotected-wire baseline the hardening tests compare
         against.
 
+    recv_retries:
+        Bounded drain attempts for an empty mailbox before
+        :meth:`recv` gives up.  In a lock-step schedule a transient
+        ordering hiccup (a post arriving "late") must not masquerade as
+        rank death, so the receive re-polls the mailbox up to this many
+        times — with an optional exponential ``retry_backoff`` sleep —
+        before raising the final :class:`ChannelError`, which names the
+        failing link and the receiver's pending-tag inventory.
+    retry_backoff:
+        Base seconds of the exponential backoff between drain attempts
+        (default ``0.0``: re-poll without sleeping, the right choice for
+        the in-process simulation where no concurrent producer exists).
+
     Notes
     -----
     In-flight faults are scheduled with :meth:`schedule_fault` against
-    the 1-based *global send ordinal* (the n-th ``send`` on this
-    channel), which is how the ``payload``-targeted fault models address
-    a specific halo message deterministically.
+    the 1-based *global send ordinal* (the n-th *fault-eligible*
+    ``send`` on this channel), which is how the ``payload``-targeted
+    fault models address a specific halo message deterministically.
+    Checkpoint shipments are sent with ``fault_eligible=False`` so they
+    never consume an ordinal — arming a payload fault stays stable
+    whether or not buddy checkpointing is on.
     """
 
-    def __init__(self, integrity: bool = True) -> None:
+    def __init__(
+        self,
+        integrity: bool = True,
+        recv_retries: int = 3,
+        retry_backoff: float = 0.0,
+    ) -> None:
         self._mailboxes: Dict[Tuple[int, int, str], Deque[_Message]] = {}
         self.integrity = bool(integrity)
+        self.recv_retries = int(recv_retries)
+        if self.recv_retries < 0:
+            raise ValueError("recv_retries must be >= 0")
+        self.retry_backoff = float(retry_backoff)
         self._send_ordinal = 0
         self._scheduled: Dict[int, Tuple[str, Tuple[int, ...], int]] = {}
+        self._failed: set = set()
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
         self.messages_corrupted = 0
         self.messages_retransmitted = 0
+        self.recv_retry_attempts = 0
         self.messages_by_tag: Dict[str, int] = {}
         self.bytes_by_tag: Dict[str, int] = {}
         self.dropped_by_tag: Dict[str, int] = {}
         self.corrupted_by_tag: Dict[str, int] = {}
         self.retransmitted_by_tag: Dict[str, int] = {}
+
+    # -- liveness --------------------------------------------------------------
+    def mark_failed(self, rank: int) -> None:
+        """Declare a rank fail-stopped: it no longer posts or answers."""
+        self._failed.add(int(rank))
+
+    def revive(self, rank: int) -> None:
+        """Clear a rank's failed mark (after recovery rebuilt it)."""
+        self._failed.discard(int(rank))
+
+    @property
+    def failed_ranks(self) -> frozenset:
+        """The ranks currently declared failed."""
+        return frozenset(self._failed)
+
+    @property
+    def has_failures(self) -> bool:
+        return bool(self._failed)
+
+    def check_liveness(self, ranks: Iterable[int]) -> None:
+        """Heartbeat round: raise :class:`RankFailure` for a dead rank.
+
+        The lock-step runner calls this before each exchange so a rank
+        death is detected even when the topology exchanges no halo
+        messages (``halo_width == 0``) — the recv-timeout path alone
+        would never fire there.
+        """
+        for rank in ranks:
+            if int(rank) in self._failed:
+                raise RankFailure(
+                    rank,
+                    f"rank {rank} missed its heartbeat: declared failed "
+                    f"(fail-stop), recovery required",
+                )
 
     # -- fault surface ---------------------------------------------------------
     def schedule_fault(
@@ -178,13 +296,25 @@ class SimChannel:
     def _count(self, counters: Dict[str, int], tag: str) -> None:
         counters[tag] = counters.get(tag, 0) + 1
 
-    def send(self, source: int, dest: int, tag: str, payload: np.ndarray) -> None:
+    def send(
+        self,
+        source: int,
+        dest: int,
+        tag: str,
+        payload: np.ndarray,
+        fault_eligible: bool = True,
+    ) -> None:
         tag = str(tag)
         key = (int(source), int(dest), tag)
         pristine = np.array(payload, copy=True)
         crc = zlib.crc32(pristine.tobytes())
-        self._send_ordinal += 1
-        fault = self._scheduled.pop(self._send_ordinal, None)
+        fault = None
+        if fault_eligible:
+            # Only fault-eligible sends (the halo stream) advance the
+            # scheduled-fault ordinal space; checkpoint shipments travel
+            # outside it so PR 8's ordinal arithmetic stays stable.
+            self._send_ordinal += 1
+            fault = self._scheduled.pop(self._send_ordinal, None)
         wire = pristine
         dropped = False
         if fault is not None:
@@ -218,13 +348,42 @@ class SimChannel:
 
     def recv(self, source: int, dest: int, tag: str) -> np.ndarray:
         tag = str(tag)
-        key = (int(source), int(dest), tag)
+        source, dest = int(source), int(dest)
+        key = (source, dest, tag)
         queue = self._mailboxes.get(key)
+        if not queue and source in self._failed:
+            raise RankFailure(
+                source,
+                f"no message from rank {source} to rank {dest} with tag "
+                f"{tag!r}: the source rank is declared failed (fail-stop), "
+                f"recovery required",
+            )
         if not queue:
+            # Bounded retry/backoff drain: a transient ordering hiccup
+            # must not masquerade as rank death.  In this in-process
+            # simulation nothing can post concurrently, but the drain
+            # models (and its counters expose) what a real progress
+            # engine would do before escalating.
+            for attempt in range(self.recv_retries):
+                self.recv_retry_attempts += 1
+                if self.retry_backoff > 0:
+                    _time.sleep(self.retry_backoff * (2 ** attempt))
+                queue = self._mailboxes.get(key)
+                if queue:
+                    break
+        if not queue:
+            pending = self.pending_tags(dest)
+            inventory = (
+                ", ".join(f"{t!r}: {n}" for t, n in sorted(pending.items()))
+                if pending
+                else "nothing pending"
+            )
             raise ChannelError(
                 f"no message from rank {source} to rank {dest} with tag "
-                f"{tag!r}: the mailbox is empty (was the halo posted this "
-                f"iteration?)"
+                f"{tag!r} after {self.recv_retries} drain attempts: the "
+                f"mailbox is empty (was the halo posted this iteration?); "
+                f"link rank {source} -> rank {dest}, pending tags for rank "
+                f"{dest}: {inventory}"
             )
         msg = queue.popleft()
         if msg.dropped:
@@ -248,6 +407,31 @@ class SimChannel:
         """Number of messages posted but not yet received."""
         return sum(len(q) for q in self._mailboxes.values())
 
+    def pending_tags(self, dest: Optional[int] = None) -> Dict[str, int]:
+        """Pending message counts per tag (optionally for one receiver).
+
+        This is the inventory the empty-mailbox :class:`ChannelError`
+        reports, so a failed receive names what *is* waiting — usually
+        enough to spot a mis-ordered post or a wrong tag at a glance.
+        """
+        counts: Dict[str, int] = {}
+        for (src, d, tag), queue in self._mailboxes.items():
+            if dest is not None and d != int(dest):
+                continue
+            if queue:
+                counts[tag] = counts.get(tag, 0) + len(queue)
+        return counts
+
+    def purge(self) -> int:
+        """Drop every pending message; returns how many were discarded.
+
+        Recovery calls this after a rank failure so halo posts of the
+        aborted iteration cannot leak into the replay.
+        """
+        purged = self.pending()
+        self._mailboxes.clear()
+        return purged
+
     def traffic(self) -> Dict[str, object]:
         """Snapshot of the traffic counters (for benchmark reports)."""
         return {
@@ -256,11 +440,77 @@ class SimChannel:
             "messages_dropped": self.messages_dropped,
             "messages_corrupted": self.messages_corrupted,
             "messages_retransmitted": self.messages_retransmitted,
+            "recv_retry_attempts": self.recv_retry_attempts,
             "messages_by_tag": dict(self.messages_by_tag),
             "bytes_by_tag": dict(self.bytes_by_tag),
             "dropped_by_tag": dict(self.dropped_by_tag),
             "corrupted_by_tag": dict(self.corrupted_by_tag),
             "retransmitted_by_tag": dict(self.retransmitted_by_tag),
+        }
+
+
+@dataclass
+class RankCheckpoint:
+    """One rank's committed state at a checkpoint iteration.
+
+    ``interior`` is the rank's domain block (ghost slabs are rebuilt
+    before first read after a restore, so they are not captured);
+    ``protector_state`` is :meth:`OnlineABFT.state_snapshot` output (or
+    ``None`` for unprotected ranks).  ``checksum``/``checksum_dup`` are
+    an independently accumulated ``np.sum`` integrity vector over the
+    interior plus its self-check duplicate, verified via the PR 8
+    metadata rule before the checkpoint is ever restored: a duplicate
+    mismatch means the *metadata* was struck and is recomputed from the
+    still-healthy domain (counted as a repair); a domain/checksum
+    mismatch with agreeing duplicates means the *payload* was struck
+    and restoring raises :class:`CheckpointCorrupt`.
+    """
+
+    iteration: int
+    interior: np.ndarray
+    checksum: np.ndarray
+    checksum_dup: np.ndarray
+    protector_state: Optional[dict]
+
+
+def _checkpoint_checksum(interior: np.ndarray) -> np.ndarray:
+    """Integrity vector of a checkpoint payload.
+
+    Deliberately a plain ``np.sum`` in float64 along axis 0 — computed
+    identically at snapshot and verify time, independent of any backend
+    (fused-kernel checksums use a different accumulation order and are
+    not bitwise-comparable).
+    """
+    return np.sum(interior, axis=0, dtype=np.float64)
+
+
+@dataclass
+class RecoveryStats:
+    """Per-run fail-stop accounting surfaced by the distributed runner."""
+
+    checkpoints_taken: int = 0
+    checkpoint_messages: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_metadata_repairs: int = 0
+    rank_failures: int = 0
+    ranks_rebuilt: int = 0
+    rollbacks: int = 0
+    replayed_iterations: int = 0
+    max_rollback_depth: int = 0
+    recovery_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_messages": self.checkpoint_messages,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_metadata_repairs": self.checkpoint_metadata_repairs,
+            "rank_failures": self.rank_failures,
+            "ranks_rebuilt": self.ranks_rebuilt,
+            "rollbacks": self.rollbacks,
+            "replayed_iterations": self.replayed_iterations,
+            "max_rollback_depth": self.max_rollback_depth,
+            "recovery_seconds": self.recovery_seconds,
         }
 
 
@@ -301,6 +551,14 @@ class SimRank:
         self.hi_neighbor = hi_neighbor
         self.global_offset = int(global_offset)
         self.reports: List[StepReport] = []
+        #: Fail-stop state: a dead rank posts and answers nothing until
+        #: recovery rebuilds it.
+        self.alive = True
+        #: The rank's own last committed checkpoint (survivor rollback).
+        self.own_checkpoint: Optional[RankCheckpoint] = None
+        #: Buddy copies this rank holds for its partner(s), keyed by the
+        #: owner rank — what recovery rebuilds a dead partner from.
+        self.buddy_store: Dict[int, RankCheckpoint] = {}
 
     @property
     def interior(self) -> np.ndarray:
@@ -353,6 +611,14 @@ class DistributedStencilRunner:
         constant (cannot be trapezoid-indexed across the deep halo), or
         a rank block thinner than the deep halo.  Injection hooks force
         the single-step path at :meth:`run` time.
+    checkpoint_period:
+        Enable buddy checkpointing with this period (iterations between
+        checkpoints).  ``None`` (default) leaves checkpointing **off**
+        until a crash-capable injector arrives, at which point it
+        auto-enables at the default period — the ABFT detection period
+        Δ (:data:`DETECTION_PERIOD`).  Either way the period is rounded
+        up to a multiple of :attr:`effective_block_steps` so checkpoints
+        land on temporal-blocking window boundaries.
     abft_kwargs:
         Extra keyword arguments for each rank's protector.
 
@@ -377,6 +643,7 @@ class DistributedStencilRunner:
         backend: BackendLike = None,
         axis: int = DISTRIBUTED_AXIS,
         block_steps: int = 1,
+        checkpoint_period: Optional[int] = None,
         **abft_kwargs,
     ) -> None:
         if n_ranks < 1:
@@ -398,6 +665,8 @@ class DistributedStencilRunner:
         self.channel = SimChannel()
         self.n_ranks = int(n_ranks)
         self.backend_spec = backend
+        self._protect = bool(protect)
+        self._abft_kwargs = dict(abft_kwargs)
 
         axis_bc = self.boundary.axis(self.axis)
         bounds = partition_extent(grid.shape[self.axis], self.n_ranks)
@@ -438,6 +707,25 @@ class DistributedStencilRunner:
         rank_radius = list(self.radius)
         rank_radius[self.axis] = self.halo_width
         self.rank_radius = tuple(rank_radius)
+
+        # Buddy checkpointing: each rank ships its snapshot to the next
+        # rank around the ring.  Off by default (zero overhead, zero
+        # extra allocations for SDC-only runs); enabled explicitly via
+        # checkpoint_period / enable_checkpointing, or automatically
+        # when a crash-capable injector shows up.
+        self.recovery = RecoveryStats()
+        self.buddy_of: Dict[int, int] = (
+            {r: (r + 1) % self.n_ranks for r in range(self.n_ranks)}
+            if self.n_ranks > 1
+            else {}
+        )
+        self._checkpointing = False
+        self._last_checkpoint_iteration = self.iteration
+        self.checkpoint_period = self._align_period(
+            DETECTION_PERIOD if checkpoint_period is None else checkpoint_period
+        )
+        if checkpoint_period is not None:
+            self._checkpointing = True
 
         self.ranks: List[SimRank] = []
         for r, (start, stop) in enumerate(bounds):
@@ -491,11 +779,333 @@ class DistributedStencilRunner:
             external_axes=external,
             block_steps=self.effective_block_steps,
         )
+        if self._checkpointing:
+            self._take_checkpoints()
 
     @property
     def backend(self):
         """The resolved compute backend (tracks the process default)."""
         return get_backend(self.backend_spec)
+
+    # -- buddy checkpointing --------------------------------------------------
+    def _align_period(self, period: int) -> int:
+        """Round a checkpoint period up to a blocked-window boundary."""
+        period = int(period)
+        if period < 1:
+            raise ValueError("checkpoint_period must be >= 1")
+        k = self.effective_block_steps
+        if period % k:
+            period = ((period // k) + 1) * k
+        return period
+
+    def enable_checkpointing(self, period: Optional[int] = None) -> None:
+        """Turn buddy checkpointing on (idempotent) and commit checkpoint 0.
+
+        ``period=None`` keeps the period resolved at construction (the
+        ABFT detection period by default).  The initial checkpoint is
+        taken immediately so a crash in the very first period can roll
+        back to the enable-time state.
+        """
+        if period is not None:
+            self.checkpoint_period = self._align_period(period)
+        if self._checkpointing:
+            return
+        if self.n_ranks < 2:
+            raise RecoveryError(
+                "buddy checkpointing needs n_ranks >= 2: a sole rank has "
+                "no partner to ship its snapshot to"
+            )
+        self._checkpointing = True
+        self._take_checkpoints()
+
+    def _pack_checkpoint_meta(self, ckpt: RankCheckpoint) -> np.ndarray:
+        """Flatten a checkpoint's metadata into one float64 wire vector.
+
+        Layout: ``[iteration, has_protector]``, the integrity checksum,
+        its duplicate, then (when protected) the four protector counters
+        followed by per-axis ``[present, *prev_cs.flat]`` sections.  The
+        receiver knows the owner's block shape and protector settings,
+        so the vector unpacks without any side channel.
+        """
+        parts: List[np.ndarray] = [
+            np.array(
+                [float(ckpt.iteration), 1.0 if ckpt.protector_state else 0.0],
+                dtype=np.float64,
+            ),
+            np.asarray(ckpt.checksum, dtype=np.float64).ravel(),
+            np.asarray(ckpt.checksum_dup, dtype=np.float64).ravel(),
+        ]
+        state = ckpt.protector_state
+        if state:
+            parts.append(np.array(state["counters"], dtype=np.float64))
+            for axis in (0, 1):
+                cs = state["prev_cs"].get(axis)
+                if cs is None:
+                    parts.append(np.zeros(1, dtype=np.float64))
+                else:
+                    parts.append(
+                        np.concatenate(
+                            [
+                                np.ones(1, dtype=np.float64),
+                                np.asarray(cs, dtype=np.float64).ravel(),
+                            ]
+                        )
+                    )
+        return np.concatenate(parts)
+
+    def _unpack_checkpoint_meta(
+        self, meta: np.ndarray, owner: SimRank, interior: np.ndarray
+    ) -> RankCheckpoint:
+        """Rebuild a :class:`RankCheckpoint` from its wire vector."""
+        meta = np.asarray(meta, dtype=np.float64).ravel()
+        iteration = int(meta[0])
+        has_protector = bool(meta[1])
+        shape = interior.shape
+        cs_len = int(np.prod(shape[1:], dtype=np.int64)) if len(shape) > 1 else 1
+        cs_shape = shape[1:] if len(shape) > 1 else ()
+        pos = 2
+        checksum = meta[pos : pos + cs_len].reshape(cs_shape).copy()
+        pos += cs_len
+        checksum_dup = meta[pos : pos + cs_len].reshape(cs_shape).copy()
+        pos += cs_len
+        state: Optional[dict] = None
+        if has_protector:
+            counters = tuple(int(c) for c in meta[pos : pos + 4])
+            pos += 4
+            prev_cs: Dict[int, Optional[np.ndarray]] = {}
+            cs_dtype = np.float64
+            if owner.protector is not None:
+                cs_dtype = owner.protector.checksum_dtype or owner.protector.dtype
+            for axis in (0, 1):
+                present = bool(meta[pos])
+                pos += 1
+                if not present:
+                    prev_cs[axis] = None
+                    continue
+                axis_shape = tuple(
+                    n for ax, n in enumerate(shape) if ax != axis
+                ) or (1,)
+                n = int(np.prod(axis_shape, dtype=np.int64))
+                prev_cs[axis] = (
+                    meta[pos : pos + n].reshape(axis_shape).astype(cs_dtype)
+                )
+                pos += n
+            state = {"prev_cs": prev_cs, "counters": counters}
+        return RankCheckpoint(
+            iteration=iteration,
+            interior=interior,
+            checksum=checksum,
+            checksum_dup=checksum_dup,
+            protector_state=state,
+        )
+
+    def _take_checkpoints(self) -> None:
+        """Commit a checkpoint on every rank and ship the buddy copies.
+
+        Each rank snapshots its interior + protector state locally (the
+        survivor-rollback copy) and sends a copy around the buddy ring
+        over the shared channel — two messages per rank (domain payload
+        tag ``"ckpt"``, packed metadata tag ``"ckpt_meta"``), counted
+        in :meth:`SimChannel.traffic` like any other traffic but *not*
+        fault-eligible, so halo payload-fault ordinals never shift.
+        """
+        stats = self.recovery
+        for rank in self.ranks:
+            interior = rank.buffers.snapshot_interior()
+            checksum = _checkpoint_checksum(interior)
+            state = (
+                rank.protector.state_snapshot()
+                if rank.protector is not None
+                else None
+            )
+            ckpt = RankCheckpoint(
+                iteration=self.iteration,
+                interior=interior,
+                checksum=checksum,
+                checksum_dup=checksum.copy(),
+                protector_state=state,
+            )
+            rank.own_checkpoint = ckpt
+            buddy = self.buddy_of.get(rank.rank)
+            if buddy is not None:
+                meta = self._pack_checkpoint_meta(ckpt)
+                self.channel.send(
+                    rank.rank, buddy, CKPT_TAG, interior, fault_eligible=False
+                )
+                self.channel.send(
+                    rank.rank, buddy, CKPT_META_TAG, meta, fault_eligible=False
+                )
+                stats.checkpoint_messages += 2
+                stats.checkpoint_bytes += int(interior.nbytes) + int(meta.nbytes)
+        # Drain the ring: every rank stores the copy its partner shipped.
+        if self.buddy_of:
+            for rank in self.ranks:
+                src = (rank.rank - 1) % self.n_ranks
+                payload = self.channel.recv(src, rank.rank, CKPT_TAG)
+                meta = self.channel.recv(src, rank.rank, CKPT_META_TAG)
+                rank.buddy_store[src] = self._unpack_checkpoint_meta(
+                    meta, self.ranks[src], payload
+                )
+        stats.checkpoints_taken += 1
+        self._last_checkpoint_iteration = self.iteration
+
+    def _maybe_checkpoint(self) -> None:
+        if not self._checkpointing:
+            return
+        if (
+            self.iteration - self._last_checkpoint_iteration
+            >= self.checkpoint_period
+        ):
+            self._take_checkpoints()
+
+    def _verify_checkpoint(self, ckpt: RankCheckpoint, owner: int) -> None:
+        """Validate a checkpoint before restoring it (PR 8 self-check rule).
+
+        Disagreeing checksum duplicates mean the metadata itself was
+        struck while the domain payload is still trusted: recompute the
+        vector from the payload and count a repair.  Agreeing duplicates
+        that contradict the payload mean the *payload* was struck:
+        restoring it would resurrect corruption, so raise
+        :class:`CheckpointCorrupt`.
+        """
+        if not np.array_equal(ckpt.checksum, ckpt.checksum_dup):
+            self.recovery.checkpoint_metadata_repairs += 1
+            recomputed = _checkpoint_checksum(ckpt.interior)
+            ckpt.checksum = recomputed
+            ckpt.checksum_dup = recomputed.copy()
+            return
+        recomputed = _checkpoint_checksum(ckpt.interior)
+        if not np.array_equal(recomputed, ckpt.checksum):
+            raise CheckpointCorrupt(
+                f"checkpoint of rank {owner} at iteration {ckpt.iteration} "
+                f"fails its integrity check: the domain payload disagrees "
+                f"with the (self-consistent) checksum vector; refusing to "
+                f"restore corrupted state"
+            )
+
+    def _rebuild_rank(self, r: int, ckpt: RankCheckpoint) -> None:
+        """Re-instantiate a dead rank from its buddy's checkpoint copy.
+
+        The replacement (a spare in real MPI) inherits the topology of
+        the old rank — neighbours, offset, constant block, which are
+        problem definition, not lost state — and restores domain +
+        protector state from the verified checkpoint.  Its ghost slabs
+        start cold and are re-warmed before first read: the distributed
+        axis by the next halo ingest, every other axis by the backend's
+        per-step boundary refresh.
+        """
+        old = self.ranks[r]
+        protector = None
+        if old.protector is not None:
+            protector = OnlineABFT(
+                self.spec,
+                self.boundary,
+                ckpt.interior.shape,
+                dtype=self.dtype,
+                constant=old.constant,
+                backend=self.backend_spec,
+                **self._abft_kwargs,
+            )
+            if ckpt.protector_state is not None:
+                protector.state_restore(ckpt.protector_state)
+        rebuilt = SimRank(
+            rank=r,
+            block=ckpt.interior,
+            constant=old.constant,
+            protector=protector,
+            lo_neighbor=old.lo_neighbor,
+            hi_neighbor=old.hi_neighbor,
+            global_offset=old.global_offset,
+            radius=self.rank_radius,
+            boundary=self.boundary,
+            axis=self.axis,
+        )
+        # Keep the globally aggregated report history (truncated to the
+        # checkpoint) — the runner owns it, not the dead process.
+        rebuilt.reports = [
+            rep for rep in old.reports if rep.iteration <= ckpt.iteration
+        ]
+        rebuilt.own_checkpoint = ckpt
+        self.ranks[r] = rebuilt
+
+    def _recover(self, failure: RankFailure, inject=None) -> None:
+        """Roll back to the last committed checkpoint and rebuild the dead.
+
+        The full local-recovery protocol: purge aborted traffic, rebuild
+        every failed rank from its buddy's verified copy, roll survivors
+        back to their own verified snapshots (domain + protector
+        checksums *and* counters), truncate the report history, re-arm
+        SDC plans inside the replayed window, and re-commit a fresh
+        checkpoint so the ring is protected again before the replay.
+        """
+        t0 = perf_counter()
+        stats = self.recovery
+        failed = sorted(self.channel.failed_ranks)
+        if not failed:
+            raise failure
+        if not self._checkpointing:
+            raise RecoveryError(
+                f"rank(s) {failed} failed but buddy checkpointing was never "
+                f"enabled — no committed state to roll back to"
+            ) from failure
+        stats.rank_failures += len(failed)
+        completed = self.iteration
+        self.channel.purge()
+        for r in failed:
+            buddy = self.buddy_of.get(r)
+            if buddy is None:
+                raise RecoveryError(
+                    f"rank {r} failed but has no buddy (n_ranks == 1)"
+                ) from failure
+            if buddy in failed:
+                raise RecoveryError(
+                    f"rank {r} and its buddy rank {buddy} both failed in "
+                    f"the same checkpoint interval: the in-memory copy is "
+                    f"gone (buddy checkpointing tolerates one failure per "
+                    f"ring segment)"
+                ) from failure
+            ckpt = self.ranks[buddy].buddy_store.get(r)
+            if ckpt is None:
+                raise RecoveryError(
+                    f"rank {buddy} holds no buddy checkpoint for dead "
+                    f"rank {r}"
+                ) from failure
+            self._verify_checkpoint(ckpt, owner=r)
+            self._rebuild_rank(r, ckpt)
+            self.channel.revive(r)
+            stats.ranks_rebuilt += 1
+        ckpt_iteration = self._last_checkpoint_iteration
+        for rank in self.ranks:
+            if rank.rank in failed:
+                continue
+            own = rank.own_checkpoint
+            if own is None:
+                raise RecoveryError(
+                    f"surviving rank {rank.rank} holds no checkpoint to "
+                    f"roll back to"
+                ) from failure
+            self._verify_checkpoint(own, owner=rank.rank)
+            rank.buffers.restore_interior(own.interior)
+            if rank.protector is not None and own.protector_state is not None:
+                rank.protector.state_restore(own.protector_state)
+            rank.reports = [
+                rep for rep in rank.reports if rep.iteration <= own.iteration
+            ]
+        depth = max(0, completed - ckpt_iteration)
+        stats.rollbacks += 1
+        stats.replayed_iterations += depth
+        stats.max_rollback_depth = max(stats.max_rollback_depth, depth)
+        self.iteration = ckpt_iteration
+        # Soft errors inside the replayed window are part of the
+        # trajectory and must strike again; crashes stay consumed.
+        rewind = getattr(inject, "rewind", None)
+        if rewind is not None:
+            rewind(ckpt_iteration)
+        # Re-commit immediately: the ring lost the copies the dead rank
+        # held for its partner, so re-establish full protection before
+        # replaying.
+        self._take_checkpoints()
+        stats.recovery_seconds += perf_counter() - t0
 
     # -- halo exchange -------------------------------------------------------------
     def _post_halos(self) -> None:
@@ -503,6 +1113,10 @@ class DistributedStencilRunner:
         if width == 0:
             return
         for rank in self.ranks:
+            if not rank.alive:
+                # Fail-stop: a dead rank posts nothing.  Its neighbours'
+                # receives (or the heartbeat round) surface the failure.
+                continue
             interior = rank.interior
             if rank.lo_neighbor is not None:
                 strip = boundary_strip(interior, self.axis, "low", width)
@@ -544,7 +1158,55 @@ class DistributedStencilRunner:
 
     # -- stepping --------------------------------------------------------------------
     def step(self, inject=None) -> List[StepReport]:
-        """One distributed sweep: exchange halos, sweep, verify per rank."""
+        """One distributed sweep: exchange halos, sweep, verify per rank.
+
+        Self-recovering: a :class:`RankFailure` raised mid-step triggers
+        buddy-checkpoint recovery and the rolled-back window is replayed
+        until this step's iteration is (re-)committed.  The returned
+        reports are the final committed ones for the step.
+        """
+        if (
+            inject is not None
+            and getattr(inject, "has_crash_plans", False)
+            and not self._checkpointing
+        ):
+            self.enable_checkpointing()
+        start_counts = [len(rank.reports) for rank in self.ranks]
+        self._advance_to(self.iteration + 1, inject)
+        return self._collect_reports(start_counts[0])
+
+    def _advance_to(self, target: int, inject=None) -> None:
+        """Advance committed iterations to ``target``, recovering on failure."""
+        attempts = 0
+        while self.iteration < target:
+            try:
+                self._step_once(inject)
+            except RankFailure as failure:
+                attempts += 1
+                if attempts > self.n_ranks:
+                    raise RecoveryError(
+                        f"giving up after {attempts} recovery attempts "
+                        f"while advancing to iteration {target}"
+                    ) from failure
+                self._recover(failure, inject)
+
+    def _step_once(self, inject=None) -> None:
+        """One lock-step distributed sweep in three phases.
+
+        Phase 1 delivers due fail-stop plans, runs the heartbeat round
+        and posts every live rank's strips; phase 2 ingests halos (and
+        fires ghost hooks) on every rank; phase 3 sweeps + verifies per
+        rank.  Ranks only read their *own* buffers during phase 3, so
+        the phase split is bit-identical to the historical interleaved
+        loop — and it guarantees a failure is detected before any rank
+        has swept, keeping recovery a pure rollback.
+        """
+        if inject is not None:
+            crash_hook = getattr(inject, "apply_crashes", None)
+            if crash_hook is not None:
+                crash_hook(self, self.iteration + 1)
+        if self.channel.has_failures:
+            self.channel.check_liveness(range(self.n_ranks))
         self._post_halos()
         self.iteration += 1
         backend = self.backend
@@ -553,11 +1215,12 @@ class DistributedStencilRunner:
         # after halo ingestion, before the sweep reads it.
         ghost_hook = getattr(inject, "inject_ghosts", None)
 
-        reports: List[StepReport] = []
         for rank in self.ranks:
             self._ingest_halos(rank)
             if ghost_hook is not None:
                 ghost_hook(self, self.iteration, rank)
+
+        for rank in self.ranks:
             protector = rank.protector
             if protector is not None and inject is None:
                 # Fault-free fast path: the fused backend step produces
@@ -594,7 +1257,21 @@ class DistributedStencilRunner:
                         iteration=self.iteration, detection_performed=False
                     )
             rank.reports.append(report)
-            reports.append(report)
+        self._maybe_checkpoint()
+
+    def _collect_reports(self, start_index: int) -> List[StepReport]:
+        """Iteration-major reports committed since ``start_index``.
+
+        Assembled from the per-rank histories rather than accumulated
+        on the fly: recovery truncates and replays those histories, so
+        only the committed tail is authoritative.
+        """
+        reports: List[StepReport] = []
+        if not self.ranks:
+            return reports
+        for i in range(start_index, len(self.ranks[0].reports)):
+            for rank in self.ranks:
+                reports.append(rank.reports[i])
         return reports
 
     def _blocked_step(self, k: int) -> List[StepReport]:
@@ -624,6 +1301,9 @@ class DistributedStencilRunner:
                 report = StepReport(iteration=it, detection_performed=False)
                 rank.reports.append(report)
                 reports.append(report)
+        # Chunk ends are the only legal checkpoint sites of a blocked
+        # schedule (period alignment guarantees due points land here).
+        self._maybe_checkpoint()
         return reports
 
     def run(self, iterations: int, inject=None) -> List[StepReport]:
@@ -632,10 +1312,19 @@ class DistributedStencilRunner:
         With an eligible ``block_steps`` and no injection hook the loop
         advances in fused k-step chunks (one halo exchange per chunk);
         injection hooks force the per-iteration :meth:`step` path so
-        faults land on exact iteration boundaries.
+        faults land on exact iteration boundaries.  Injectors carrying
+        fail-stop plans auto-enable buddy checkpointing before the first
+        sweep, and every committed iteration is guarded by the
+        self-recovering step path.
         """
         if iterations < 0:
             raise ValueError("iterations must be non-negative")
+        if (
+            inject is not None
+            and getattr(inject, "has_crash_plans", False)
+            and not self._checkpointing
+        ):
+            self.enable_checkpointing()
         all_reports: List[StepReport] = []
         k = self.effective_block_steps if inject is None else 1
         remaining = iterations

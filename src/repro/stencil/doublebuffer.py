@@ -385,6 +385,38 @@ class DoubleBufferedGrid:
             )
         interior_view(self._front, self.radius)[...] = u
 
+    # -- checkpointing --------------------------------------------------------
+    def snapshot_interior(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Contiguous copy of the front interior (the checkpoint payload).
+
+        Only the interior is captured: every ghost slab of the pair is
+        rebuilt before it is next read — locally managed axes by the
+        per-step :meth:`refresh`, externally managed axes by the next
+        halo ingest — so snapshotting the interior alone is sufficient
+        to restore the pair bit-for-bit via :meth:`restore_interior`.
+        Passing a preallocated ``out`` keeps steady-state checkpointing
+        allocation-free.
+        """
+        interior = self.interior
+        if out is None:
+            return interior.copy()
+        if out.shape != interior.shape or out.dtype != interior.dtype:
+            raise ValueError(
+                f"checkpoint buffer mismatch: expected {interior.shape} "
+                f"{interior.dtype}, got {out.shape} {out.dtype}"
+            )
+        out[...] = interior
+        return out
+
+    def restore_interior(self, u: np.ndarray) -> None:
+        """Restore the pair from a :meth:`snapshot_interior` payload.
+
+        The back buffer needs no restore: the next sweep overwrites it
+        entirely before anything reads it, so rolling the front interior
+        back is enough for bitwise-identical replay.
+        """
+        self.load(u)
+
     # -- shared-memory migration --------------------------------------------
     @property
     def is_shared(self) -> bool:
